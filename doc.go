@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "Efficient
+// Parallelization of 5G-PUSCH on a Scalable RISC-V Many-Core Processor"
+// (Bertuletti, Zhang, Vanelli-Coralli, Benini — DATE 2023).
+//
+// The repository contains:
+//
+//   - sim: a deterministic cycle-approximate simulator of the MemPool
+//     (256-core) and TeraPool (1024-core) shared-L1 RISC-V clusters,
+//     including the banked-memory contention, LSU, divide/sqrt and
+//     instruction-fetch models and the fork-join barrier runtime;
+//   - kernels/...: the paper's parallel kernels (folded radix-4 FFT,
+//     4x4-window matrix multiplication, mirrored/replicated Cholesky,
+//     channel and noise estimation, per-subcarrier MIMO detection), all
+//     bit-exact against serial fixed-point golden models;
+//   - pusch: the Table I / Fig. 3 complexity model, the end-to-end
+//     functional receive chain, and the Fig. 9c slot-budget experiment;
+//   - waveform, fixedpoint: the transmit/channel substrate and the
+//     packed Q1.15 arithmetic;
+//   - cmd/complexity, cmd/kernelbench, cmd/puschsim: binaries that
+//     regenerate every table and figure of the paper's evaluation.
+//
+// The benchmarks in bench_test.go wrap the same experiments as testing.B
+// benchmarks; see EXPERIMENTS.md for measured-versus-paper numbers.
+package repro

@@ -1,0 +1,33 @@
+package fixedpoint_test
+
+import (
+	"testing"
+
+	"repro/fixedpoint"
+)
+
+func TestPublicFixedPoint(t *testing.T) {
+	a := fixedpoint.FromComplex(complex(0.5, -0.25))
+	b := fixedpoint.Pack(fixedpoint.FloatToQ15(0.5), 0)
+	if fixedpoint.Q15ToFloat(a.Re()) != 0.5 {
+		t.Error("pack/unpack")
+	}
+	sum := fixedpoint.Add(a, b)
+	if fixedpoint.Q15ToFloat(sum.Re()) != 1-1.0/(1<<15) { // saturates just below 1.0
+		t.Errorf("saturating add = %g", fixedpoint.Q15ToFloat(sum.Re()))
+	}
+	if fixedpoint.Sub(sum, b) == 0 {
+		t.Error("sub")
+	}
+	p := fixedpoint.Mul(a, b)
+	if fixedpoint.Q15ToFloat(p.Re()) < 0.2 {
+		t.Error("mul")
+	}
+	if fixedpoint.MulConj(a, a).Im() != 0 {
+		t.Error("a*conj(a) not real")
+	}
+	q := fixedpoint.CDiv(p, b)
+	if fixedpoint.Q15ToFloat(q.Re()) < 0.4 {
+		t.Error("div")
+	}
+}

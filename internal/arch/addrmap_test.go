@@ -1,0 +1,143 @@
+package arch
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecomposeComposeRoundTrip checks that Compose is the exact inverse
+// of Decompose for every valid address (property-based over the full map).
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	for _, c := range []*Config{MemPool(), TeraPool()} {
+		t.Run(c.Name, func(t *testing.T) {
+			f := func(raw uint32) bool {
+				a := Addr(raw % uint32(c.MemWords()))
+				return c.Compose(c.Decompose(a)) == a
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestInterleavingOrder pins the exact interleaving of Fig. 4b: banks of a
+// tile first, then tiles of a group, then groups, then rows.
+func TestInterleavingOrder(t *testing.T) {
+	c := MemPool() // 16 banks/tile, 16 tiles/group, 4 groups
+	cases := []struct {
+		a    Addr
+		want Place
+	}{
+		{0, Place{0, 0, 0, 0}},
+		{1, Place{0, 0, 1, 0}},
+		{15, Place{0, 0, 15, 0}},
+		{16, Place{0, 1, 0, 0}},                         // next tile
+		{16 * 16, Place{1, 0, 0, 0}},                    // next group
+		{16 * 16 * 4, Place{0, 0, 0, 1}},                // wrap to row 1
+		{16*16*4 + 17, Place{0, 1, 1, 1}},               // row 1, tile 1, bank 1
+		{Addr(c.MemWords() - 1), Place{3, 15, 15, 255}}, // last word
+	}
+	for _, tc := range cases {
+		if got := c.Decompose(tc.a); got != tc.want {
+			t.Errorf("Decompose(%d) = %+v, want %+v", tc.a, got, tc.want)
+		}
+	}
+}
+
+// TestSequentialAddressesSpreadBanks confirms that any BanksPerTile
+// consecutive addresses land in BanksPerTile distinct banks, which is the
+// property that makes sequential buffers conflict-free under unit-stride
+// streaming.
+func TestSequentialAddressesSpreadBanks(t *testing.T) {
+	c := TeraPool()
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 100; trial++ {
+		base := Addr(rng.IntN(c.MemWords() - c.BanksPerTile()))
+		seen := make(map[int]bool)
+		for i := 0; i < c.BanksPerTile(); i++ {
+			b := c.BankOf(base + Addr(i))
+			if seen[b] {
+				t.Fatalf("trial %d: consecutive addresses from %d collide in bank %d", trial, base, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// TestTileLocalAddrStaysLocal checks that TileLocalAddr always produces
+// addresses whose access level is LevelLocal for cores of that tile.
+func TestTileLocalAddrStaysLocal(t *testing.T) {
+	for _, c := range []*Config{MemPool(), TeraPool()} {
+		t.Run(c.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(3, 4))
+			for trial := 0; trial < 500; trial++ {
+				tile := rng.IntN(c.NumTiles())
+				bank := rng.IntN(c.BanksPerTile())
+				row := rng.IntN(c.BankWords)
+				a := c.TileLocalAddr(tile, bank, row)
+				if got := c.TileOf(a); got != tile {
+					t.Fatalf("TileLocalAddr(%d,%d,%d): TileOf = %d", tile, bank, row, got)
+				}
+				lo, hi := c.CoresOfTile(tile)
+				for core := lo; core < hi; core++ {
+					if lv := c.LevelFor(core, a); lv != LevelLocal {
+						t.Fatalf("core %d sees tile-local addr at level %s", core, lv)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLevelForHierarchy(t *testing.T) {
+	c := MemPool()
+	// Core 0 lives in group 0, tile 0.
+	local := c.TileLocalAddr(0, 0, 0)
+	sameGroup := c.TileLocalAddr(1, 0, 0)
+	remote := c.TileLocalAddr(c.TilesPerGroup, 0, 0) // first tile of group 1
+	if lv := c.LevelFor(0, local); lv != LevelLocal {
+		t.Errorf("local addr level = %s", lv)
+	}
+	if lv := c.LevelFor(0, sameGroup); lv != LevelGroup {
+		t.Errorf("same-group addr level = %s", lv)
+	}
+	if lv := c.LevelFor(0, remote); lv != LevelRemote {
+		t.Errorf("remote addr level = %s", lv)
+	}
+}
+
+// TestBankOfMatchesDecompose cross-checks the two views of bank identity.
+func TestBankOfMatchesDecompose(t *testing.T) {
+	c := TeraPool()
+	f := func(raw uint32) bool {
+		a := Addr(raw % uint32(c.MemWords()))
+		p := c.Decompose(a)
+		want := (p.Group*c.TilesPerGroup+p.TileInGrp)*c.BanksPerTile() + p.BankInTile
+		return c.BankOf(a) == want && c.BankOf(a) < c.NumBanks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposePanicsOutOfRange(t *testing.T) {
+	c := MemPool()
+	defer func() {
+		if recover() == nil {
+			t.Error("Compose accepted an out-of-range Place")
+		}
+	}()
+	c.Compose(Place{Group: c.Groups, TileInGrp: 0, BankInTile: 0, Row: 0})
+}
+
+func TestRowStride(t *testing.T) {
+	c := MemPool()
+	a := c.TileLocalAddr(5, 3, 10)
+	b := a + c.RowStride()
+	pa, pb := c.Decompose(a), c.Decompose(b)
+	if pa.Row+1 != pb.Row || pa.BankInTile != pb.BankInTile || pa.TileInGrp != pb.TileInGrp || pa.Group != pb.Group {
+		t.Errorf("RowStride does not advance exactly one row: %+v -> %+v", pa, pb)
+	}
+}

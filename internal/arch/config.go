@@ -1,0 +1,228 @@
+// Package arch describes the MemPool/TeraPool cluster architecture: the
+// hierarchy of cores, tiles and groups, the word-interleaved multi-banked
+// L1 memory map, and the access-latency model published in the paper
+// (1 cycle to a tile-local bank, 3 cycles within the group, 5 cycles to a
+// remote group).
+//
+// The package is pure description: it holds no simulation state. The
+// timing engine (internal/engine) and the memory model (internal/tcdm)
+// consume a *Config.
+package arch
+
+import "fmt"
+
+// Addr is a word address into the cluster's shared L1 memory. One word is
+// 32 bits and holds one packed complex Q1.15 sample (see internal/fixed).
+type Addr uint32
+
+// Level classifies how far a memory access travels from the issuing core.
+type Level uint8
+
+const (
+	// LevelLocal is an access to a bank inside the core's own tile
+	// (1-cycle load latency).
+	LevelLocal Level = iota
+	// LevelGroup is an access to a bank in another tile of the same
+	// group (3-cycle load latency).
+	LevelGroup
+	// LevelRemote is an access to a bank in another group (5-cycle load
+	// latency).
+	LevelRemote
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelLocal:
+		return "local"
+	case LevelGroup:
+		return "group"
+	case LevelRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Latencies models the interconnect round trip for each access level as a
+// request leg (core to bank), one cycle of bank service, and a response
+// leg (bank to core). The unloaded load-use latency of a level is
+// Req + 1 + Resp, which the defaults set to the paper's 1/3/5 cycles.
+type Latencies struct {
+	Req  [3]int64 // request-network cycles per Level
+	Resp [3]int64 // response-network cycles per Level
+}
+
+// Total returns the unloaded load latency (issue to data ready) at level l.
+func (lt Latencies) Total(l Level) int64 { return lt.Req[l] + 1 + lt.Resp[l] }
+
+// WakeCosts models the cost, in cycles after the last barrier arrival, of
+// waking the sleeping cores through the wake-up CSRs (Section IV of the
+// paper). The cheapest trigger covering the barrier's core set is used:
+// a single cluster-wide broadcast, one write per group CSR, one write per
+// tile CSR, or one write per individual core for ragged subsets.
+type WakeCosts struct {
+	Cluster int64 // broadcast to every core in the cluster
+	Group   int64 // per group-CSR write, wakes all tiles of one group
+	Tile    int64 // per tile-CSR write, wakes all cores of one tile
+	Core    int64 // per single-core wake-up write
+}
+
+// ICacheConfig models the per-tile shared L1 instruction cache. Kernel
+// phases declare a static footprint in cache lines; the first core of a
+// tile to execute a phase whose kernel is not resident pays
+// RefillLatency per line, and the kernel stays resident until evicted
+// (LRU over kernels) by footprints exceeding LinesPerTile.
+//
+// Each core also has a tiny L0 fetch buffer; loop bodies larger than it
+// miss back into the shared I$ periodically (Phase.FetchEvery), and a
+// miss costs more when more cores of the tile contend for the cache's
+// FetchPorts. This produces the "ins. stalls" fraction of Fig. 8.
+type ICacheConfig struct {
+	LinesPerTile  int   // capacity of one tile's shared I$ in lines
+	RefillLatency int64 // cycles to refill one line from L2
+	FetchPorts    int   // simultaneous fetches the shared I$ serves per cycle
+}
+
+// FUNonPipelined describes the iterative divide/square-root unit: a new
+// operation cannot issue until Init cycles after the previous one
+// (partial pipelining), producing the "external unit" stalls of Fig. 8.
+type FUNonPipelined struct {
+	Latency int64 // cycles from issue to result
+	Init    int64 // initiation interval between back-to-back operations
+}
+
+// Config is a full description of one cluster instance. Use MemPool or
+// TeraPool for the paper's machines, or build a custom one and Validate it.
+type Config struct {
+	Name          string
+	Groups        int // groups per cluster (M): 4 in MemPool, 8 in TeraPool
+	TilesPerGroup int // tiles per group: 16 in both machines
+	CoresPerTile  int // Snitch cores per tile (N): 4 in MemPool, 8 in TeraPool
+	BanksPerCore  int // L1 banks per core: 4 in both machines
+	BankWords     int // words per bank: 256 (1 KiB banks)
+
+	Lat    Latencies
+	Wake   WakeCosts
+	ICache ICacheConfig
+
+	// MulLatency is the pipelined latency of the packed complex
+	// multiply/MAC path (result availability after issue).
+	MulLatency int64
+	// DivSqrt is the shared iterative divide/sqrt unit.
+	DivSqrt FUNonPipelined
+	// LSUDepth is the number of outstanding memory transactions the
+	// Snitch LSU supports before stalling issue (8 in the paper).
+	LSUDepth int
+}
+
+// defaultTiming returns the latency/synchronization constants shared by
+// both published configurations.
+func defaultTiming() (Latencies, WakeCosts, ICacheConfig) {
+	lat := Latencies{
+		Req:  [3]int64{0, 1, 2},
+		Resp: [3]int64{0, 1, 2},
+	}
+	wake := WakeCosts{Cluster: 10, Group: 4, Tile: 2, Core: 1}
+	ic := ICacheConfig{LinesPerTile: 64, RefillLatency: 10, FetchPorts: 4}
+	return lat, wake, ic
+}
+
+// MemPool returns the 256-core MemPool configuration: 4 groups of 16
+// tiles, 4 cores and 16 banks per tile, 1 MiB of L1.
+func MemPool() *Config {
+	lat, wake, ic := defaultTiming()
+	return &Config{
+		Name:          "MemPool",
+		Groups:        4,
+		TilesPerGroup: 16,
+		CoresPerTile:  4,
+		BanksPerCore:  4,
+		BankWords:     256,
+		Lat:           lat,
+		Wake:          wake,
+		ICache:        ic,
+		MulLatency:    3,
+		DivSqrt:       FUNonPipelined{Latency: 8, Init: 2},
+		LSUDepth:      8,
+	}
+}
+
+// TeraPool returns the 1024-core TeraPool configuration: 8 groups of 16
+// tiles, 8 cores and 32 banks per tile, 4 MiB of L1.
+func TeraPool() *Config {
+	c := MemPool()
+	c.Name = "TeraPool"
+	c.Groups = 8
+	c.CoresPerTile = 8
+	return c
+}
+
+// Validate checks structural invariants. It returns a descriptive error
+// for the first violated constraint.
+func (c *Config) Validate() error {
+	switch {
+	case c.Groups <= 0:
+		return fmt.Errorf("arch: %s: Groups must be positive, got %d", c.Name, c.Groups)
+	case c.TilesPerGroup <= 0:
+		return fmt.Errorf("arch: %s: TilesPerGroup must be positive, got %d", c.Name, c.TilesPerGroup)
+	case c.CoresPerTile <= 0:
+		return fmt.Errorf("arch: %s: CoresPerTile must be positive, got %d", c.Name, c.CoresPerTile)
+	case c.BanksPerCore <= 0:
+		return fmt.Errorf("arch: %s: BanksPerCore must be positive, got %d", c.Name, c.BanksPerCore)
+	case c.BankWords <= 0:
+		return fmt.Errorf("arch: %s: BankWords must be positive, got %d", c.Name, c.BankWords)
+	case c.LSUDepth <= 0:
+		return fmt.Errorf("arch: %s: LSUDepth must be positive, got %d", c.Name, c.LSUDepth)
+	case c.MulLatency < 1:
+		return fmt.Errorf("arch: %s: MulLatency must be at least 1, got %d", c.Name, c.MulLatency)
+	case c.DivSqrt.Latency < 1:
+		return fmt.Errorf("arch: %s: DivSqrt.Latency must be at least 1, got %d", c.Name, c.DivSqrt.Latency)
+	case c.DivSqrt.Init < 1 || c.DivSqrt.Init > c.DivSqrt.Latency:
+		return fmt.Errorf("arch: %s: DivSqrt.Init must be in [1, Latency], got %d", c.Name, c.DivSqrt.Init)
+	case c.ICache.FetchPorts < 1:
+		return fmt.Errorf("arch: %s: ICache.FetchPorts must be positive, got %d", c.Name, c.ICache.FetchPorts)
+	}
+	for l := LevelLocal; l <= LevelRemote; l++ {
+		if c.Lat.Req[l] < 0 || c.Lat.Resp[l] < 0 {
+			return fmt.Errorf("arch: %s: negative latency at level %s", c.Name, l)
+		}
+	}
+	if c.MemWords() > 1<<31 {
+		return fmt.Errorf("arch: %s: memory of %d words exceeds the 32-bit address space", c.Name, c.MemWords())
+	}
+	return nil
+}
+
+// NumTiles returns the total number of tiles in the cluster.
+func (c *Config) NumTiles() int { return c.Groups * c.TilesPerGroup }
+
+// NumCores returns the total number of cores in the cluster.
+func (c *Config) NumCores() int { return c.NumTiles() * c.CoresPerTile }
+
+// BanksPerTile returns the number of L1 banks inside one tile.
+func (c *Config) BanksPerTile() int { return c.CoresPerTile * c.BanksPerCore }
+
+// NumBanks returns the total number of L1 banks in the cluster.
+func (c *Config) NumBanks() int { return c.NumTiles() * c.BanksPerTile() }
+
+// MemWords returns the total L1 capacity in 32-bit words.
+func (c *Config) MemWords() int { return c.NumBanks() * c.BankWords }
+
+// TileOfCore returns the global tile index [0, NumTiles) hosting core id.
+func (c *Config) TileOfCore(core int) int { return core / c.CoresPerTile }
+
+// GroupOfCore returns the group index [0, Groups) hosting core id.
+func (c *Config) GroupOfCore(core int) int { return core / (c.CoresPerTile * c.TilesPerGroup) }
+
+// CoresOfTile returns the half-open core-id range [lo, hi) of a tile.
+func (c *Config) CoresOfTile(tile int) (lo, hi int) {
+	return tile * c.CoresPerTile, (tile + 1) * c.CoresPerTile
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (c *Config) String() string {
+	return fmt.Sprintf("%s: %d cores (%d groups x %d tiles x %d cores), %d banks, %d KiB L1",
+		c.Name, c.NumCores(), c.Groups, c.TilesPerGroup, c.CoresPerTile,
+		c.NumBanks(), c.MemWords()*4/1024)
+}

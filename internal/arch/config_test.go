@@ -1,0 +1,128 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemPoolShape(t *testing.T) {
+	c := MemPool()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("MemPool config invalid: %v", err)
+	}
+	if got, want := c.NumCores(), 256; got != want {
+		t.Errorf("NumCores = %d, want %d", got, want)
+	}
+	if got, want := c.NumTiles(), 64; got != want {
+		t.Errorf("NumTiles = %d, want %d", got, want)
+	}
+	if got, want := c.NumBanks(), 1024; got != want {
+		t.Errorf("NumBanks = %d, want %d", got, want)
+	}
+	if got, want := c.MemWords()*4, 1<<20; got != want {
+		t.Errorf("L1 size = %d bytes, want %d (1 MiB)", got, want)
+	}
+	if got, want := c.BanksPerTile(), 16; got != want {
+		t.Errorf("BanksPerTile = %d, want %d", got, want)
+	}
+}
+
+func TestTeraPoolShape(t *testing.T) {
+	c := TeraPool()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("TeraPool config invalid: %v", err)
+	}
+	if got, want := c.NumCores(), 1024; got != want {
+		t.Errorf("NumCores = %d, want %d", got, want)
+	}
+	if got, want := c.NumBanks(), 4096; got != want {
+		t.Errorf("NumBanks = %d, want %d", got, want)
+	}
+	if got, want := c.MemWords()*4, 4<<20; got != want {
+		t.Errorf("L1 size = %d bytes, want %d (4 MiB)", got, want)
+	}
+	if got, want := c.BanksPerTile(), 32; got != want {
+		t.Errorf("BanksPerTile = %d, want %d", got, want)
+	}
+}
+
+func TestLatencyTotals(t *testing.T) {
+	c := MemPool()
+	wants := map[Level]int64{LevelLocal: 1, LevelGroup: 3, LevelRemote: 5}
+	for l, want := range wants {
+		if got := c.Lat.Total(l); got != want {
+			t.Errorf("Total(%s) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+		frag string
+	}{
+		{"zero groups", func(c *Config) { c.Groups = 0 }, "Groups"},
+		{"zero tiles", func(c *Config) { c.TilesPerGroup = 0 }, "TilesPerGroup"},
+		{"zero cores", func(c *Config) { c.CoresPerTile = 0 }, "CoresPerTile"},
+		{"zero banks", func(c *Config) { c.BanksPerCore = 0 }, "BanksPerCore"},
+		{"zero bank words", func(c *Config) { c.BankWords = 0 }, "BankWords"},
+		{"zero lsu", func(c *Config) { c.LSUDepth = 0 }, "LSUDepth"},
+		{"zero mul", func(c *Config) { c.MulLatency = 0 }, "MulLatency"},
+		{"zero div", func(c *Config) { c.DivSqrt.Latency = 0 }, "DivSqrt"},
+		{"negative latency", func(c *Config) { c.Lat.Req[LevelGroup] = -1 }, "latency"},
+		{"huge memory", func(c *Config) { c.BankWords = 1 << 30 }, "address space"},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := MemPool()
+			m.mut(c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted invalid config (%s)", m.name)
+			}
+			if !strings.Contains(err.Error(), m.frag) {
+				t.Errorf("error %q does not mention %q", err, m.frag)
+			}
+		})
+	}
+}
+
+func TestCoreHierarchy(t *testing.T) {
+	for _, c := range []*Config{MemPool(), TeraPool()} {
+		t.Run(c.Name, func(t *testing.T) {
+			coresPerGroup := c.CoresPerTile * c.TilesPerGroup
+			for core := 0; core < c.NumCores(); core++ {
+				tile := c.TileOfCore(core)
+				if tile < 0 || tile >= c.NumTiles() {
+					t.Fatalf("core %d: tile %d out of range", core, tile)
+				}
+				if got, want := c.GroupOfCore(core), core/coresPerGroup; got != want {
+					t.Fatalf("core %d: group %d, want %d", core, got, want)
+				}
+				lo, hi := c.CoresOfTile(tile)
+				if core < lo || core >= hi {
+					t.Fatalf("core %d not in its own tile range [%d,%d)", core, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+func TestStringMentionsCoreCount(t *testing.T) {
+	if s := MemPool().String(); !strings.Contains(s, "256 cores") {
+		t.Errorf("MemPool.String() = %q, want core count", s)
+	}
+	if s := TeraPool().String(); !strings.Contains(s, "1024 cores") {
+		t.Errorf("TeraPool.String() = %q, want core count", s)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelLocal.String() != "local" || LevelGroup.String() != "group" || LevelRemote.String() != "remote" {
+		t.Error("Level.String() mismatch")
+	}
+	if got := Level(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown level string = %q", got)
+	}
+}

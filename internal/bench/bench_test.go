@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestPaperConfigsMatchThePaper(t *testing.T) {
+	mp := PaperFFTConfigs(arch.MemPool())
+	if mp[0].Count != 16 || mp[0].N != 256 {
+		t.Errorf("MemPool config 0 = %+v, want 16 FFTs of 256", mp[0])
+	}
+	if mp[1].Count != 1 || mp[1].N != 4096 {
+		t.Errorf("MemPool config 1 = %+v, want 1 FFT of 4096", mp[1])
+	}
+	if mp[2].Count != 16 || mp[2].Batch != 16 {
+		t.Errorf("MemPool config 2 = %+v, want 1x16 batched", mp[2])
+	}
+	tp := PaperFFTConfigs(arch.TeraPool())
+	if tp[0].Count != 64 || tp[1].Count != 4 || tp[2].Count != 64 {
+		t.Errorf("TeraPool FFT counts = %d/%d/%d, want 64/4/64", tp[0].Count, tp[1].Count, tp[2].Count)
+	}
+	ch := PaperCholConfigs(arch.TeraPool())
+	if ch[2].Pairs != 128 {
+		t.Errorf("TeraPool pair count = %d, want 128", ch[2].Pairs)
+	}
+}
+
+func TestRunFFTSanity(t *testing.T) {
+	cfg := arch.MemPool()
+	r, err := RunFFT(cfg, PaperFFTConfigs(cfg)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoresUsed != 256 {
+		t.Errorf("cores used = %d", r.CoresUsed)
+	}
+	if s := r.Speedup(); s <= 1 || s > float64(r.CoresUsed) {
+		t.Errorf("speedup %.1f outside (1, %d]", s, r.CoresUsed)
+	}
+	if ipc := r.Parallel.IPC(); ipc <= 0 || ipc > 1 {
+		t.Errorf("IPC %.2f outside (0,1]", ipc)
+	}
+	if r.SerialIPC <= 0 || r.SerialIPC > 1 {
+		t.Errorf("serial IPC %.2f outside (0,1]", r.SerialIPC)
+	}
+	row := Fig8Row(r)
+	if !strings.Contains(row, "MemPool") || !strings.Contains(row, "IPC") {
+		t.Errorf("Fig8Row = %q", row)
+	}
+	if !strings.Contains(Fig9Row(r), "speedup") {
+		t.Error("Fig9Row missing speedup")
+	}
+}
+
+func TestRunCholSanity(t *testing.T) {
+	cfg := arch.MemPool()
+	r, err := RunChol(cfg, PaperCholConfigs(cfg)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Speedup(); s <= 1 || s > float64(cfg.NumCores()) {
+		t.Errorf("speedup %.1f out of range", s)
+	}
+}
+
+func TestRunMMMWindowOrdering(t *testing.T) {
+	// The register-blocking argument: bigger windows retire more MACs
+	// per cycle.
+	rates := make([]float64, 3)
+	for i := range rates {
+		r, err := RunMMMWindow(arch.MemPool(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[i] = r.Parallel.MACsPerCycle()
+	}
+	if !(rates[0] > rates[1] && rates[1] > rates[2]) {
+		t.Errorf("window MACs/cycle ordering violated: %v", rates)
+	}
+	if _, err := RunMMMWindow(arch.MemPool(), 9); err == nil {
+		t.Error("bad window index accepted")
+	}
+}
+
+func TestDeepenGrowsCapacityOnly(t *testing.T) {
+	cfg := arch.MemPool()
+	big := deepen(cfg, cfg.MemWords()*3)
+	if big.MemWords() < cfg.MemWords()*3 {
+		t.Errorf("deepen did not reach the requested capacity")
+	}
+	if big.NumBanks() != cfg.NumBanks() || big.NumCores() != cfg.NumCores() {
+		t.Error("deepen changed the cluster shape")
+	}
+	same := deepen(cfg, 10)
+	if same.BankWords != cfg.BankWords {
+		t.Error("deepen grew a config that already fits")
+	}
+}

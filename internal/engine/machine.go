@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/tcdm"
+)
+
+// Phase is one barrier-delimited parallel section of a Job. Work runs on
+// every core of the job; the engine inserts the barrier afterwards.
+type Phase struct {
+	// Name labels the phase in traces.
+	Name string
+	// Kernel keys the per-tile instruction-cache residency. Phases of a
+	// loop that share code should share a Kernel so only the first
+	// iteration pays the refill. Empty defaults to the job name + Name.
+	Kernel string
+	// Lines is the phase's instruction footprint in cache lines
+	// (defaults to DefaultKernelLines).
+	Lines int
+	// FetchEvery is the average number of issued instructions between L0
+	// fetch-buffer misses for this phase's loop body (0 defaults to
+	// DefaultFetchEvery). Small bodies that fit the L0 buffer use large
+	// values; sprawling bodies miss often.
+	FetchEvery int
+	// Work performs the phase's computation on one core.
+	Work func(p *Proc)
+}
+
+// DefaultKernelLines is the instruction-cache footprint assumed for
+// phases that do not declare one.
+const DefaultKernelLines = 8
+
+// DefaultFetchEvery is the assumed instruction distance between L0
+// fetch misses when a phase does not declare one.
+const DefaultFetchEvery = 8
+
+// Job is a fork-join task: a fixed set of cores runs each Phase and
+// synchronizes on a partial barrier between phases (and after the last).
+// Single-core jobs skip barriers entirely, matching the serial baselines
+// of the paper.
+type Job struct {
+	Name   string
+	Cores  []int
+	Phases []Phase
+}
+
+// Machine is one simulated cluster instance.
+type Machine struct {
+	Cfg *arch.Config
+	Mem *tcdm.Mem
+
+	// DebugRaces enables the fork-join data-race detector: loads and
+	// stores are checked against other cores' stores in the same phase.
+	// Races panic, since they indicate a broken kernel decomposition.
+	DebugRaces bool
+
+	// Tracer, when non-nil, records per-core phase timings for the
+	// timeline and imbalance reports (see Tracer).
+	Tracer *Tracer
+
+	// RotatePriority approximates round-robin bank arbitration by
+	// rotating the core replay order every phase (the default fixed
+	// order gives strict core-ID priority; see DESIGN.md section 2).
+	RotatePriority bool
+	phaseCounter   int
+
+	coreTime  []int64
+	coreStats []Stats
+
+	icache []tileICache
+	// barrierRow[tile] holds the per-tile barrier counter words.
+	barrierRow []tcdm.TileBlock
+
+	raceWriters map[arch.Addr]int32
+}
+
+type tileICache struct {
+	resident map[string]int // kernel -> lines
+	order    []string       // LRU order, oldest first
+	used     int
+}
+
+// NewMachine builds a machine and reserves the per-tile barrier counter
+// row. It panics if cfg is invalid: constructing a broken machine is a
+// programming error, not a runtime condition.
+func NewMachine(cfg *arch.Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("engine: NewMachine: %v", err))
+	}
+	m := &Machine{
+		Cfg:        cfg,
+		Mem:        tcdm.NewMem(cfg),
+		coreTime:   make([]int64, cfg.NumCores()),
+		coreStats:  make([]Stats, cfg.NumCores()),
+		icache:     make([]tileICache, cfg.NumTiles()),
+		barrierRow: make([]tcdm.TileBlock, cfg.NumTiles()),
+	}
+	for t := 0; t < cfg.NumTiles(); t++ {
+		blk, err := m.Mem.AllocTileLocal(t, 1)
+		if err != nil {
+			panic(fmt.Sprintf("engine: barrier row allocation: %v", err))
+		}
+		m.barrierRow[t] = blk
+	}
+	for t := range m.icache {
+		m.icache[t].resident = make(map[string]int)
+	}
+	m.raceWriters = make(map[arch.Addr]int32)
+	return m
+}
+
+// CoreTime returns the current cycle of one core.
+func (m *Machine) CoreTime(core int) int64 { return m.coreTime[core] }
+
+// Cycles returns the maximum cycle across all cores: the wall clock of
+// the simulation so far.
+func (m *Machine) Cycles() int64 {
+	var max int64
+	for _, t := range m.coreTime {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// CoreStats returns a copy of one core's counters.
+func (m *Machine) CoreStats(core int) Stats { return m.coreStats[core] }
+
+// TotalStats returns the sum of all cores' counters.
+func (m *Machine) TotalStats() Stats {
+	var s Stats
+	for i := range m.coreStats {
+		s.Add(m.coreStats[i])
+	}
+	return s
+}
+
+func (m *Machine) raceCheckRead(core int, addr arch.Addr) {
+	if w, ok := m.raceWriters[addr]; ok && int(w) != core {
+		panic(fmt.Sprintf("engine: data race: core %d reads %d written by core %d in the same phase", core, addr, w))
+	}
+}
+
+func (m *Machine) raceCheckWrite(core int, addr arch.Addr) {
+	if w, ok := m.raceWriters[addr]; ok && int(w) != core {
+		panic(fmt.Sprintf("engine: data race: cores %d and %d both write %d in the same phase", w, core, addr))
+	}
+	m.raceWriters[addr] = int32(core)
+}
+
+// icacheCost returns the refill stall for a core of the given tile
+// entering a phase, updating residency. Only the first core of a tile to
+// execute a kernel pays the refill; the shared cache then serves the rest.
+func (m *Machine) icacheCost(tile int, kernel string, lines int) int64 {
+	ic := &m.icache[tile]
+	if _, ok := ic.resident[kernel]; ok {
+		return 0
+	}
+	cap := m.Cfg.ICache.LinesPerTile
+	if lines > cap {
+		lines = cap // a kernel larger than the cache thrashes; model as full refill
+	}
+	for ic.used+lines > cap && len(ic.order) > 0 {
+		victim := ic.order[0]
+		ic.order = ic.order[1:]
+		ic.used -= ic.resident[victim]
+		delete(ic.resident, victim)
+	}
+	ic.resident[kernel] = lines
+	ic.order = append(ic.order, kernel)
+	ic.used += lines
+	return int64(lines) * m.Cfg.ICache.RefillLatency
+}
+
+// validateJobs checks that jobs use disjoint, in-range core sets.
+func (m *Machine) validateJobs(jobs []Job) error {
+	seen := make(map[int]string)
+	for _, j := range jobs {
+		if len(j.Cores) == 0 {
+			return fmt.Errorf("engine: job %q has no cores", j.Name)
+		}
+		for _, c := range j.Cores {
+			if c < 0 || c >= m.Cfg.NumCores() {
+				return fmt.Errorf("engine: job %q: core %d out of range [0,%d)", j.Name, c, m.Cfg.NumCores())
+			}
+			if prev, dup := seen[c]; dup {
+				return fmt.Errorf("engine: core %d claimed by both job %q and job %q", c, prev, j.Name)
+			}
+			seen[c] = j.Name
+		}
+	}
+	return nil
+}
+
+// wakeCost returns the cycles the last core spends triggering wake-up
+// CSRs for the job's core set, choosing the cheapest covering trigger
+// (Section IV of the paper).
+func (m *Machine) wakeCost(cores []int) int64 {
+	cfg := m.Cfg
+	if len(cores) == cfg.NumCores() {
+		return cfg.Wake.Cluster
+	}
+	// Whole-tile coverage?
+	perTile := make(map[int]int)
+	groups := make(map[int]bool)
+	for _, c := range cores {
+		perTile[cfg.TileOfCore(c)]++
+		groups[cfg.GroupOfCore(c)] = true
+	}
+	wholeTiles := true
+	for _, n := range perTile {
+		if n != cfg.CoresPerTile {
+			wholeTiles = false
+			break
+		}
+	}
+	if wholeTiles {
+		tilesPerGroup := make(map[int]int)
+		for t := range perTile {
+			tilesPerGroup[t/cfg.TilesPerGroup]++
+		}
+		wholeGroups := true
+		for _, n := range tilesPerGroup {
+			if n != cfg.TilesPerGroup {
+				wholeGroups = false
+				break
+			}
+		}
+		if wholeGroups {
+			// One masked write to the group wake-up CSR.
+			return cfg.Wake.Group
+		}
+		// One masked write per group holding participating tiles.
+		return cfg.Wake.Tile * int64(len(groups))
+	}
+	// Ragged subset: individual wake-up writes.
+	return cfg.Wake.Core * int64(len(cores))
+}
+
+// climbCost models the hierarchical barrier climb after the last local
+// arrival: the last core of each tile propagates to a group counter, the
+// last group to the cluster counter. The cost grows with the span of the
+// job's core set.
+func (m *Machine) climbCost(cores []int) int64 {
+	cfg := m.Cfg
+	tiles := make(map[int]bool)
+	groups := make(map[int]bool)
+	for _, c := range cores {
+		tiles[cfg.TileOfCore(c)] = true
+		groups[cfg.GroupOfCore(c)] = true
+	}
+	switch {
+	case len(tiles) == 1:
+		return 2 // tile counter only
+	case len(groups) == 1:
+		return 2 + cfg.Lat.Total(arch.LevelGroup) // tile then group counter
+	default:
+		return 2 + cfg.Lat.Total(arch.LevelGroup) + cfg.Lat.Total(arch.LevelRemote)
+	}
+}
+
+// Run executes a set of jobs with disjoint core sets concurrently,
+// advancing each participating core's clock and statistics. It returns
+// an error for structurally invalid job sets.
+func (m *Machine) Run(jobs ...Job) error {
+	if err := m.validateJobs(jobs); err != nil {
+		return err
+	}
+	for ji := range jobs {
+		job := &jobs[ji]
+		cores := append([]int(nil), job.Cores...)
+		sort.Ints(cores)
+		barSlot := ji % m.Cfg.BanksPerTile()
+		for pi := range job.Phases {
+			ph := &job.Phases[pi]
+			kernel := ph.Kernel
+			if kernel == "" {
+				kernel = job.Name + "/" + ph.Name
+			}
+			lines := ph.Lines
+			if lines == 0 {
+				lines = DefaultKernelLines
+			}
+			fetchEvery := ph.FetchEvery
+			if fetchEvery == 0 {
+				fetchEvery = DefaultFetchEvery
+			}
+			// Cores of one tile active in this phase contend for the
+			// shared I$ on L0 misses.
+			tileCount := make(map[int]int)
+			for _, core := range cores {
+				tileCount[m.Cfg.TileOfCore(core)]++
+			}
+			if m.DebugRaces {
+				clear(m.raceWriters)
+			}
+			arrivals := make([]int64, len(cores))
+			starts := make([]int64, len(cores))
+			var last int64
+			m.phaseCounter++
+			rot := 0
+			if m.RotatePriority {
+				rot = m.phaseCounter % len(cores)
+			}
+			for idx := range cores {
+				li := (idx + rot) % len(cores)
+				core := cores[li]
+				ports := int64(m.Cfg.ICache.FetchPorts)
+				active := int64(tileCount[m.Cfg.TileOfCore(core)])
+				// Miss cost in eighths of a cycle: a lone core's
+				// sequential prefetch hides L0 misses entirely; with
+				// more cores sharing the tile cache the service cost
+				// grows as (ports+active)/(2*ports).
+				taxNum := (ports + active) * 4 / ports
+				if active == 1 {
+					taxNum = 0
+				}
+				p := &Proc{
+					Core:   core,
+					Lane:   li,
+					Lanes:  len(cores),
+					m:      m,
+					now:    m.coreTime[core],
+					st:     &m.coreStats[core],
+					lsu:    make([]int64, m.Cfg.LSUDepth),
+					taxNum: taxNum,
+					taxDen: 8 * int64(fetchEvery),
+				}
+				if c := m.icacheCost(m.Cfg.TileOfCore(core), kernel, lines); c > 0 {
+					p.st.ICacheStalls += c
+					p.now += c
+				}
+				starts[li] = p.now
+				ph.Work(p)
+				p.Drain()
+				if len(cores) > 1 {
+					// Barrier entry (Section IV): every core atomically
+					// increments the job's central barrier variable and
+					// goes to WFI. The increments serialize through the
+					// counter's bank, which is the dominant barrier cost
+					// at large core counts.
+					p.Tick(2)
+					cnt := m.barrierRow[m.Cfg.TileOfCore(cores[0])].Addr(barSlot, 0)
+					w := p.AmoAdd(cnt)
+					p.waitBarrier(w)
+					p.Tick(1)
+				}
+				arrivals[li] = p.now
+				if p.now > last {
+					last = p.now
+				}
+				m.coreTime[core] = p.now
+			}
+			if len(cores) > 1 {
+				release := last + m.climbCost(cores) + m.wakeCost(cores)
+				for li, core := range cores {
+					m.coreStats[core].WfiStalls += release - arrivals[li]
+					m.coreTime[core] = release
+				}
+				// Reset the barrier counter for reuse.
+				m.Mem.Write(m.barrierRow[m.Cfg.TileOfCore(cores[0])].Addr(barSlot, 0), 0)
+				for li, core := range cores {
+					m.Tracer.record(TraceEvent{
+						Job: job.Name, Phase: ph.Name, Core: core,
+						Start: starts[li], Arrive: arrivals[li], Release: release,
+					})
+				}
+			} else {
+				m.Tracer.record(TraceEvent{
+					Job: job.Name, Phase: ph.Name, Core: cores[0],
+					Start: starts[0], Arrive: arrivals[0], Release: arrivals[0],
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// ClusterBarrier synchronizes every core in the cluster to a common
+// release time, attributing the wait as WFI stalls. The PUSCH chain
+// calls it between processing stages. It also retires old bank
+// reservations, bounding simulator memory.
+func (m *Machine) ClusterBarrier() {
+	var last int64
+	arrive := make([]int64, len(m.coreTime))
+	for c := range m.coreTime {
+		// Entry sequence: increment + branch + wfi.
+		m.coreStats[c].Instrs += 3
+		m.coreStats[c].IAlu += 3
+		arrive[c] = m.coreTime[c] + 3
+		if arrive[c] > last {
+			last = arrive[c]
+		}
+	}
+	all := make([]int, len(m.coreTime))
+	for i := range all {
+		all[i] = i
+	}
+	release := last + m.climbCost(all) + m.wakeCost(all)
+	for c := range m.coreTime {
+		m.coreStats[c].WfiStalls += release - arrive[c]
+		m.coreTime[c] = release
+	}
+	if release > 1<<13 {
+		m.Mem.Res.Retire(release - 1<<13)
+	}
+}
+
+// AlignCores fast-forwards every core to the cluster-wide maximum time
+// without charging any stall: a host-level convenience used between
+// independent experiments, not part of the modeled program.
+func (m *Machine) AlignCores() {
+	max := m.Cycles()
+	for c := range m.coreTime {
+		m.coreTime[c] = max
+	}
+}

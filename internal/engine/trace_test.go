@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func tracedRun(t *testing.T, rotate bool) *Machine {
+	t.Helper()
+	m := NewMachine(arch.MemPool())
+	m.Tracer = &Tracer{}
+	m.RotatePriority = rotate
+	err := m.Run(Job{
+		Name:  "demo",
+		Cores: []int{0, 1, 2, 3},
+		Phases: []Phase{
+			{Name: "a", Work: func(p *Proc) { p.Tick(10 + 5*p.Lane) }},
+			{Name: "b", Work: func(p *Proc) { p.Tick(20) }},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTracerRecordsPhases(t *testing.T) {
+	m := tracedRun(t, false)
+	tr := m.Tracer
+	if got, want := len(tr.Events), 8; got != want { // 4 cores x 2 phases
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	for _, ev := range tr.Events {
+		if ev.Start > ev.Arrive || ev.Arrive > ev.Release {
+			t.Fatalf("unordered event %+v", ev)
+		}
+		if ev.Job != "demo" {
+			t.Fatalf("job = %q", ev.Job)
+		}
+	}
+	if names := tr.JobNames(); len(names) != 1 || names[0] != "demo" {
+		t.Errorf("JobNames = %v", names)
+	}
+	lo, hi := tr.Span()
+	if lo >= hi {
+		t.Errorf("span [%d, %d]", lo, hi)
+	}
+}
+
+func TestTracerTimelineRenders(t *testing.T) {
+	m := tracedRun(t, false)
+	var sb strings.Builder
+	if err := m.Tracer.Timeline(&sb, []int{0, 1, 2, 3}, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "core    0") || !strings.Contains(out, "#") {
+		t.Errorf("timeline missing rows:\n%s", out)
+	}
+	// The fastest core of phase a (lane 0) must show barrier wait dots.
+	if !strings.Contains(out, ".") {
+		t.Errorf("timeline shows no barrier wait:\n%s", out)
+	}
+}
+
+func TestTracerPhaseSummary(t *testing.T) {
+	m := tracedRun(t, false)
+	sum := m.Tracer.PhaseSummary()
+	if !strings.Contains(sum, "demo/a") || !strings.Contains(sum, "demo/b") {
+		t.Errorf("summary missing phases:\n%s", sum)
+	}
+	if !strings.Contains(sum, "avg work") {
+		t.Errorf("summary missing header:\n%s", sum)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.record(TraceEvent{}) // must not panic
+	m := NewMachine(arch.MemPool())
+	if err := m.Run(Job{Name: "x", Cores: []int{0}, Phases: []Phase{{Name: "p", Work: func(p *Proc) {}}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerEmptyTimeline(t *testing.T) {
+	tr := &Tracer{}
+	var sb strings.Builder
+	if err := tr.Timeline(&sb, []int{0}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no events") {
+		t.Error("empty tracer did not say so")
+	}
+}
+
+// TestRotatePriorityPreservesResults: rotating the replay order changes
+// who wins bank-conflict ties but cannot change any computed value.
+func TestRotatePriorityPreservesResults(t *testing.T) {
+	run := func(rotate bool) []uint32 {
+		m := NewMachine(arch.MemPool())
+		m.RotatePriority = rotate
+		base, err := m.Mem.AllocSeq(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			m.Mem.Write(base+arch.Addr(i), uint32(i*3+1))
+		}
+		out, err := m.Mem.AllocSeq(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.Run(Job{Name: "t", Cores: []int{0, 1, 2, 3}, Phases: []Phase{{
+			Name: "p",
+			Work: func(p *Proc) {
+				acc := A{}
+				for i := 0; i < 16; i++ {
+					w := p.Load(base + arch.Addr(p.Lane*16+i))
+					acc = p.Mac(acc, w, w)
+				}
+				p.Store(out+arch.Addr(p.Lane), p.Narrow(acc, 4))
+			},
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]uint32, 4)
+		for i := range vals {
+			vals[i] = m.Mem.Read(out + arch.Addr(i))
+		}
+		return vals
+	}
+	fixed := run(false)
+	rotated := run(true)
+	for i := range fixed {
+		if fixed[i] != rotated[i] {
+			t.Fatalf("arbitration changed a computed value at %d", i)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package kernels_test runs cross-kernel integration checks on a custom
+// cluster geometry (2 groups x 4 tiles x 4 cores = 32 cores), proving the
+// layout and schedule code generalizes beyond the two published
+// MemPool/TeraPool configurations.
+package kernels_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/fixed"
+	"repro/internal/kernels/chol"
+	"repro/internal/kernels/fft"
+	"repro/internal/kernels/mmm"
+	"repro/internal/phy"
+)
+
+// tinyCluster returns a 32-core cluster that matches neither paper
+// machine: 2 groups, 4 tiles per group, 4 cores per tile.
+func tinyCluster() *arch.Config {
+	c := arch.MemPool()
+	c.Name = "Tiny32"
+	c.Groups = 2
+	c.TilesPerGroup = 4
+	return c
+}
+
+func randC15(rng *rand.Rand, n int) []fixed.C15 {
+	out := make([]fixed.C15, n)
+	for i := range out {
+		out[i] = fixed.Pack(int16(rng.IntN(1<<16)-1<<15), int16(rng.IntN(1<<16)-1<<15))
+	}
+	return out
+}
+
+func TestTinyClusterValid(t *testing.T) {
+	c := tinyCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumCores() != 32 || c.NumBanks() != 128 {
+		t.Fatalf("unexpected shape: %d cores, %d banks", c.NumCores(), c.NumBanks())
+	}
+}
+
+func TestFFTOnTinyCluster(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := engine.NewMachine(tinyCluster())
+	m.DebugRaces = true
+	// 256-point FFT needs 16 lanes; two fit on 32 cores.
+	pl, err := fft.NewPlan(m, 256, 2, 1, fft.Folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]fixed.C15, 2)
+	for j := range inputs {
+		inputs[j] = randC15(rng, 256)
+		if err := pl.WriteInput(j, 0, inputs[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tw := phy.Twiddles(256)
+	for j := range inputs {
+		want := phy.FFT(inputs[j], tw)
+		got := pl.ReadOutput(j, 0)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("fft %d element %d mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestMMMOnTinyCluster(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m := engine.NewMachine(tinyCluster())
+	m.DebugRaces = true
+	pl, err := mmm.NewPlan(m, 32, 16, 16, 32, mmm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := randC15(rng, 32*16), randC15(rng, 16*16)
+	if err := pl.WriteA(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.WriteB(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := phy.MatMul(a, b, 32, 16, 16, pl.Opt.Shift)
+	got := pl.ReadC()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+}
+
+func TestCholOnTinyCluster(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	m := engine.NewMachine(tinyCluster())
+	m.DebugRaces = true
+	// A 32x32 mirrored pair uses 8 cores: spans two tiles of the tiny
+	// cluster; four pairs fill the machine.
+	pl, err := chol.NewPairPlan(m, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][2][]fixed.C15, 4)
+	for pr := 0; pr < 4; pr++ {
+		for q := 0; q < 2; q++ {
+			nb := 64
+			h := randC15(rng, nb*32)
+			for i, v := range h {
+				h[i] = fixed.Pack(int16(float64(v.Re())*0.6), int16(float64(v.Im())*0.6))
+			}
+			g := phy.Gramian(h, nb, 32, 7, fixed.FloatToQ15(0.05))
+			inputs[pr][q] = g
+			if err := pl.WriteG(pr, q, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pr := 0; pr < 4; pr++ {
+		for q := 0; q < 2; q++ {
+			want := phy.Cholesky(inputs[pr][q], 32)
+			got := pl.ReadL(pr, q)
+			for i := 0; i < 32; i++ {
+				for k := 0; k <= i; k++ {
+					if got[i*32+k] != want[i*32+k] {
+						t.Fatalf("pair %d inst %d L[%d][%d] mismatch", pr, q, i, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTinyClusterSpeedup: even the small machine must show near-linear
+// kernel speedups, confirming the schedule scales down too.
+func TestTinyClusterSpeedup(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	cfg := tinyCluster()
+
+	par := engine.NewMachine(cfg)
+	pp, err := mmm.NewPlan(par, 32, 32, 32, 32, mmm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := randC15(rng, 32*32), randC15(rng, 32*32)
+	if err := pp.WriteA(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.WriteB(b); err != nil {
+		t.Fatal(err)
+	}
+	mark := par.Mark()
+	if err := pp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	parRep := par.ReportSince(mark, "p", nil)
+
+	ser := engine.NewMachine(cfg)
+	sp, err := mmm.NewPlan(ser, 32, 32, 32, 1, mmm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.WriteA(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.WriteB(b); err != nil {
+		t.Fatal(err)
+	}
+	mark = ser.Mark()
+	if err := sp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	serRep := ser.ReportSince(mark, "s", []int{0})
+
+	if s := engine.Speedup(serRep, parRep); s < 8 || s > 32 {
+		t.Errorf("speedup %.1f outside (8, 32] on the 32-core cluster", s)
+	}
+}

@@ -1,0 +1,144 @@
+package fft
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/fixed"
+	"repro/internal/phy"
+)
+
+// SerialPlan runs reps n-point FFTs back to back on a single core: the
+// baseline of Fig. 9. Data lives in sequential (interleaved) buffers, so
+// the lone core sees the realistic 1/3/5-cycle latency mix.
+type SerialPlan struct {
+	N    int
+	S    int
+	Reps int
+	Core int
+
+	m    *engine.Machine
+	tw   arch.Addr
+	work [2]arch.Addr
+	out  []arch.Addr
+}
+
+// NewSerialPlan allocates buffers for reps serial n-point FFTs on the
+// given core.
+func NewSerialPlan(m *engine.Machine, core, n, reps int) (*SerialPlan, error) {
+	s := stages(n)
+	if s < 2 {
+		return nil, fmt.Errorf("fft: size %d is not a power of 4 >= 16", n)
+	}
+	if reps <= 0 {
+		return nil, fmt.Errorf("fft: reps %d must be positive", reps)
+	}
+	sp := &SerialPlan{N: n, S: s, Reps: reps, Core: core, m: m}
+	tww := phy.Twiddles(n)
+	base, err := m.Mem.AllocSeq(len(tww))
+	if err != nil {
+		return nil, fmt.Errorf("fft: serial twiddles: %w", err)
+	}
+	sp.tw = base
+	for k, w := range tww {
+		m.Mem.Write(base+arch.Addr(k), uint32(w))
+	}
+	for i := range sp.work {
+		b, err := m.Mem.AllocSeq(n)
+		if err != nil {
+			return nil, fmt.Errorf("fft: serial work buffer: %w", err)
+		}
+		sp.work[i] = b
+	}
+	sp.out = make([]arch.Addr, reps)
+	for r := range sp.out {
+		b, err := m.Mem.AllocSeq(n)
+		if err != nil {
+			return nil, fmt.Errorf("fft: serial output %d: %w", r, err)
+		}
+		sp.out[r] = b
+	}
+	return sp, nil
+}
+
+// WriteInput stores the input of repetition r (host write, untimed).
+// All repetitions share the ping buffer, so inputs must be written one
+// repetition at a time when validating results; for timing runs the same
+// input can simply be reused.
+func (sp *SerialPlan) WriteInput(x []fixed.C15) error {
+	if len(x) != sp.N {
+		return fmt.Errorf("fft: WriteInput: %d samples, want %d", len(x), sp.N)
+	}
+	for i, v := range x {
+		sp.m.Mem.Write(sp.work[0]+arch.Addr(i), uint32(v))
+	}
+	return nil
+}
+
+// ReadOutput returns the spectrum of repetition r in natural order.
+func (sp *SerialPlan) ReadOutput(r int) []fixed.C15 {
+	out := make([]fixed.C15, sp.N)
+	for i := range out {
+		out[i] = fixed.C15(sp.m.Mem.Read(sp.out[r] + arch.Addr(i)))
+	}
+	return out
+}
+
+// Job builds the single-core job executing all repetitions.
+func (sp *SerialPlan) Job() engine.Job {
+	work := func(p *engine.Proc) {
+		for rep := 0; rep < sp.Reps; rep++ {
+			for s := 0; s < sp.S; s++ {
+				d := sp.N >> (2 * (s + 1))
+				last := s == sp.S-1
+				src := sp.work[s&1]
+				dst := sp.work[(s+1)&1]
+				for j := 0; j < sp.N/4; j++ {
+					q := j / d
+					r := j % d
+					base := q*4*d + r
+					i0, i1, i2, i3 := base, base+d, base+2*d, base+3*d
+					p.Tick(18) // load-address generation, as in the parallel kernel
+					wa := p.Load(src + arch.Addr(i0))
+					wb := p.Load(src + arch.Addr(i1))
+					wc := p.Load(src + arch.Addr(i2))
+					we := p.Load(src + arch.Addr(i3))
+					x1, x2, x3 := twiddleIndexes(j, d, sp.N)
+					w1 := p.Load(sp.tw + arch.Addr(x1))
+					w2 := p.Load(sp.tw + arch.Addr(x2))
+					w3 := p.Load(sp.tw + arch.Addr(x3))
+					y0, y1, y2, y3 := butterfly(p, wa, wb, wc, we, w1, w2, w3)
+					p.Tick(16) // store-address generation
+					if last {
+						o := sp.out[rep]
+						p.Store(o+arch.Addr(phy.DigitReverse4(i0, sp.N)), y0)
+						p.Store(o+arch.Addr(phy.DigitReverse4(i1, sp.N)), y1)
+						p.Store(o+arch.Addr(phy.DigitReverse4(i2, sp.N)), y2)
+						p.Store(o+arch.Addr(phy.DigitReverse4(i3, sp.N)), y3)
+					} else {
+						p.Store(dst+arch.Addr(i0), y0)
+						p.Store(dst+arch.Addr(i1), y1)
+						p.Store(dst+arch.Addr(i2), y2)
+						p.Store(dst+arch.Addr(i3), y3)
+					}
+					p.Tick(2)
+				}
+			}
+			// Restore the ping buffer as input for the next repetition:
+			// with an even stage count the final stores already went to
+			// the output buffer and the ping buffer still holds stale
+			// data; real firmware would point at the next input vector.
+			// The repetition loop costs a couple of control instructions.
+			p.Tick(2)
+		}
+	}
+	return engine.Job{
+		Name:   fmt.Sprintf("fft%d-serial", sp.N),
+		Cores:  []int{sp.Core},
+		Phases: []engine.Phase{{Name: "all", Kernel: "fft/stage", Lines: 12, FetchEvery: 6, Work: work}},
+	}
+}
+
+// Run executes the serial FFTs.
+func (sp *SerialPlan) Run() error { return sp.m.Run(sp.Job()) }

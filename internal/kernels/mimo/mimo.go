@@ -1,0 +1,296 @@
+// Package mimo implements the per-subcarrier MIMO detection stage of the
+// PUSCH chain (Section II, Eq. 2): for every data subcarrier the kernel
+// gathers the channel matrix estimate through the pilot comb, forms the
+// regularized Gramian G = H^H H * 2^-shift + sigma^2 I, factors it with
+// the Cholesky kernel, applies the matched filter z = H^H y, and solves
+// the two triangular systems L(L^H x) = z.
+//
+// Subcarriers are independent, so the stage replicates across cores the
+// same way the paper replicates small Cholesky decompositions: each core
+// owns a contiguous slice of subcarriers, with per-core scratch storage
+// folded into its local banks.
+package mimo
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/fixed"
+	"repro/internal/kernels/chol"
+	"repro/internal/tcdm"
+)
+
+// Plan holds the layout of one data-symbol MIMO detection pass.
+type Plan struct {
+	NSC   int // data subcarriers
+	NB    int // beams
+	NL    int // UEs / layers (<= 4: scratch folds into a core's 4 banks)
+	Shift uint
+	// Interp enables linear interpolation of the channel estimate
+	// between the two neighboring comb positions of each UE, instead of
+	// the nearest-hold gather. Costs two extra loads and two multiplies
+	// per gathered element; improves detection on frequency-selective
+	// channels.
+	Interp bool
+
+	Cores []int
+
+	m         *engine.Machine
+	yBase     arch.Addr // received beams, sc-major: y[sc*NB+b]
+	xBase     arch.Addr // detected symbols, sc-major: x[sc*NL+l]
+	wBase     arch.Addr // interpolation weight table: w[k] = k/NL in Q1.15
+	hAddr     func(sc, b int) arch.Addr
+	sigmaAddr arch.Addr
+	scratch   []tcdm.TileBlock // per tile: G, L, z, y/x vectors per core
+}
+
+// scratch rows per core (on its 4 banks): G (NL rows), L (NL rows),
+// z+y vector row, x row.
+func scratchRows(nl int) int { return 2*nl + 2 }
+
+// NewPlan allocates the detection pass. hAddr and sigmaAddr come from the
+// channel-estimation plan (chest.Plan.HAddr / SigmaAddr); they may also
+// point at synthetic buffers in tests.
+// yExternal, when non-nil, reuses an existing sc-major beam buffer.
+func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, hAddr func(sc, b int) arch.Addr, sigmaAddr arch.Addr, yExternal *arch.Addr) (*Plan, error) {
+	switch {
+	case nsc <= 0 || nb <= 0 || nl <= 0:
+		return nil, fmt.Errorf("mimo: dimensions %d/%d/%d must be positive", nsc, nb, nl)
+	case nl > 4:
+		return nil, fmt.Errorf("mimo: %d layers exceed the 4-bank scratch fold", nl)
+	case coreCount <= 0 || coreCount > m.Cfg.NumCores():
+		return nil, fmt.Errorf("mimo: %d cores requested, cluster has %d", coreCount, m.Cfg.NumCores())
+	case hAddr == nil:
+		return nil, fmt.Errorf("mimo: nil channel address function")
+	}
+	pl := &Plan{NSC: nsc, NB: nb, NL: nl, m: m, hAddr: hAddr, sigmaAddr: sigmaAddr}
+	for 1<<pl.Shift < nb {
+		pl.Shift++
+	}
+	var err error
+	if yExternal != nil {
+		pl.yBase = *yExternal
+	} else if pl.yBase, err = m.Mem.AllocSeq(nsc * nb); err != nil {
+		return nil, fmt.Errorf("mimo: y: %w", err)
+	}
+	if pl.xBase, err = m.Mem.AllocSeq(nsc * nl); err != nil {
+		return nil, fmt.Errorf("mimo: x: %w", err)
+	}
+	if pl.wBase, err = m.Mem.AllocSeq(nl + 1); err != nil {
+		return nil, fmt.Errorf("mimo: weights: %w", err)
+	}
+	for k := 0; k <= nl; k++ {
+		w := fixed.Pack(fixed.FloatToQ15(float64(k)/float64(nl)), 0)
+		m.Mem.Write(pl.wBase+arch.Addr(k), uint32(w))
+	}
+	pl.Cores = make([]int, coreCount)
+	for i := range pl.Cores {
+		pl.Cores[i] = i
+	}
+	pl.scratch = make([]tcdm.TileBlock, m.Cfg.NumTiles())
+	for _, tile := range tilesOf(m.Cfg, pl.Cores) {
+		blk, err := m.Mem.AllocTileLocal(tile, scratchRows(nl))
+		if err != nil {
+			return nil, fmt.Errorf("mimo: scratch tile %d: %w", tile, err)
+		}
+		pl.scratch[tile] = blk
+	}
+	return pl, nil
+}
+
+func tilesOf(cfg *arch.Config, cores []int) []int {
+	seen := make(map[int]bool)
+	var tiles []int
+	for _, c := range cores {
+		t := cfg.TileOfCore(c)
+		if !seen[t] {
+			seen[t] = true
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles
+}
+
+// scratchAddr returns the address of scratch word (row, col) of a core,
+// where col indexes the core's 4 banks.
+func (pl *Plan) scratchAddr(core, row, col int) arch.Addr {
+	cfg := pl.m.Cfg
+	tile := cfg.TileOfCore(core)
+	bank := (core%cfg.CoresPerTile)*cfg.BanksPerCore + col
+	return pl.scratch[tile].Addr(bank, row)
+}
+
+// Scratch map: rows [0,NL) = G, rows [NL,2NL) = L, row 2NL = z,
+// row 2NL+1 = x (solve intermediate y reuses the z row).
+func (pl *Plan) gAddr(core int) func(i, c int) arch.Addr {
+	return func(i, c int) arch.Addr { return pl.scratchAddr(core, i, c) }
+}
+func (pl *Plan) lAddr(core int) func(i, c int) arch.Addr {
+	return func(i, c int) arch.Addr { return pl.scratchAddr(core, pl.NL+i, c) }
+}
+func (pl *Plan) zAddr(core, l int) arch.Addr { return pl.scratchAddr(core, 2*pl.NL, l) }
+func (pl *Plan) xTmp(core, l int) arch.Addr  { return pl.scratchAddr(core, 2*pl.NL+1, l) }
+
+// WriteY stores the received data-symbol beams (host write, untimed).
+func (pl *Plan) WriteY(y []fixed.C15) error {
+	if len(y) != pl.NSC*pl.NB {
+		return fmt.Errorf("mimo: WriteY: %d elements, want %d", len(y), pl.NSC*pl.NB)
+	}
+	for i, v := range y {
+		pl.m.Mem.Write(pl.yBase+arch.Addr(i), uint32(v))
+	}
+	return nil
+}
+
+// ReadX returns the detected symbol vectors, sc-major (host read).
+func (pl *Plan) ReadX() []fixed.C15 {
+	out := make([]fixed.C15, pl.NSC*pl.NL)
+	for i := range out {
+		out[i] = fixed.C15(pl.m.Mem.Read(pl.xBase + arch.Addr(i)))
+	}
+	return out
+}
+
+// combSC returns the pilot subcarrier whose estimate provides column l of
+// H at data subcarrier sc: the nearest comb position owned by UE l.
+func (pl *Plan) combSC(sc, l int) int {
+	base := sc - sc%pl.NL + l
+	if base >= pl.NSC {
+		base -= pl.NL
+	}
+	return base
+}
+
+// combBracket returns the two comb positions of UE l bracketing sc, and
+// the interpolation numerator k (h = ((NL-k)*h[p0] + k*h[p1]) / NL).
+// At the grid edges, or when sc sits on a comb position, it degenerates
+// to a single point (k = 0).
+func (pl *Plan) combBracket(sc, l int) (p0, p1, k int) {
+	p0 = pl.combSC(sc, l)
+	if p0 >= sc {
+		return p0, p0, 0
+	}
+	p1 = p0 + pl.NL
+	if p1 >= pl.NSC {
+		return p0, p0, 0
+	}
+	return p0, p1, sc - p0
+}
+
+// gatherH loads the channel estimate for (sc, l, b), either nearest-hold
+// or linearly interpolated between the bracketing comb positions.
+func (pl *Plan) gatherH(p *engine.Proc, sc, l, b int) engine.W {
+	if !pl.Interp {
+		return p.Load(pl.hAddr(pl.combSC(sc, l), b))
+	}
+	p0, p1, k := pl.combBracket(sc, l)
+	if k == 0 {
+		return p.Load(pl.hAddr(p0, b))
+	}
+	h0 := p.Load(pl.hAddr(p0, b))
+	h1 := p.Load(pl.hAddr(p1, b))
+	w0 := p.Load(pl.wBase + arch.Addr(pl.NL-k))
+	w1 := p.Load(pl.wBase + arch.Addr(k))
+	return p.CAdd(p.MulTw(p.Widen(h0), w0, 0), p.MulTw(p.Widen(h1), w1, 0))
+}
+
+// detect processes one subcarrier on one core.
+func (pl *Plan) detect(p *engine.Proc, core, sc int) {
+	nl, nb := pl.NL, pl.NB
+	sigma := p.Load(pl.sigmaAddr)
+	// Gramian G = H^H H * 2^-shift + sigma^2... the noise term is kept in
+	// Q1.15 (sigma is already a variance), matching phy.Gramian.
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nl; j++ {
+			var acc engine.A
+			for b := 0; b < nb; b++ {
+				hj := pl.gatherH(p, sc, j, b)
+				hi := pl.gatherH(p, sc, i, b)
+				acc = p.MacConj(acc, hj, hi)
+				p.Tick(1)
+			}
+			v := p.Narrow(acc, pl.Shift)
+			if i == j {
+				v = p.CAdd(v, sigma)
+			}
+			p.Store(pl.gAddr(core)(i, j), v)
+			p.Tick(1)
+		}
+	}
+	// Matched filter z = H^H y * 2^-shift.
+	for l := 0; l < nl; l++ {
+		var acc engine.A
+		for b := 0; b < nb; b++ {
+			y := p.Load(pl.yBase + arch.Addr(sc*nb+b))
+			h := pl.gatherH(p, sc, l, b)
+			acc = p.MacConj(acc, y, h)
+			p.Tick(1)
+		}
+		p.Store(pl.zAddr(core, l), p.Narrow(acc, pl.Shift))
+		p.Tick(1)
+	}
+	// Cholesky factorization of the scratch Gramian.
+	chol.Decompose(p, nl, pl.gAddr(core), pl.lAddr(core))
+	// Forward substitution L y = z (result overwrites the z row).
+	lA := pl.lAddr(core)
+	for i := 0; i < nl; i++ {
+		var acc engine.A
+		for k := 0; k < i; k++ {
+			lv := p.Load(lA(i, k))
+			yv := p.Load(pl.zAddr(core, k))
+			acc = p.Mac(acc, lv, yv)
+			p.Tick(1)
+		}
+		b := p.Load(pl.zAddr(core, i))
+		num := p.AccSub(p.Widen(b), acc)
+		den := p.Load(lA(i, i))
+		p.Store(pl.zAddr(core, i), p.DivByRe(num, den))
+		p.Tick(2)
+	}
+	// Backward substitution L^H x = y.
+	for i := nl - 1; i >= 0; i-- {
+		var acc engine.A
+		for k := i + 1; k < nl; k++ {
+			xv := p.Load(pl.xTmp(core, k))
+			lv := p.Load(lA(k, i))
+			acc = p.MacConj(acc, xv, lv)
+			p.Tick(1)
+		}
+		yv := p.Load(pl.zAddr(core, i))
+		num := p.AccSub(p.Widen(yv), acc)
+		den := p.Load(lA(i, i))
+		x := p.DivByRe(num, den)
+		p.Store(pl.xTmp(core, i), x)
+		p.Store(pl.xBase+arch.Addr(sc*nl+i), x)
+		p.Tick(2)
+	}
+}
+
+// JobsList builds the single job spanning the plan's cores.
+func (pl *Plan) JobsList() []engine.Job {
+	lanes := len(pl.Cores)
+	work := func(p *engine.Proc) {
+		per := (pl.NSC + lanes - 1) / lanes
+		lo := p.Lane * per
+		hi := lo + per
+		if hi > pl.NSC {
+			hi = pl.NSC
+		}
+		core := pl.Cores[p.Lane]
+		for sc := lo; sc < hi; sc++ {
+			pl.detect(p, core, sc)
+			p.Tick(1)
+		}
+	}
+	return []engine.Job{{
+		Name:  "mimo",
+		Cores: pl.Cores,
+		Phases: []engine.Phase{{
+			Name: "detect", Kernel: "mimo/detect", Lines: 14, Work: work,
+		}},
+	}}
+}
+
+// Run executes the detection pass.
+func (pl *Plan) Run() error { return pl.m.Run(pl.JobsList()...) }

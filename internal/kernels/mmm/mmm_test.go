@@ -1,0 +1,299 @@
+package mmm
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/fixed"
+	"repro/internal/phy"
+)
+
+func randMat(rng *rand.Rand, n int) []fixed.C15 {
+	out := make([]fixed.C15, n)
+	for i := range out {
+		out[i] = fixed.Pack(int16(rng.IntN(1<<16)-1<<15), int16(rng.IntN(1<<16)-1<<15))
+	}
+	return out
+}
+
+// runPlan executes one MMM and returns the result plus the report.
+func runPlan(t *testing.T, cfg *arch.Config, m, n, p, cores int, opt Options, seed uint64) ([]fixed.C15, []fixed.C15, engine.Report) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	mach := engine.NewMachine(cfg)
+	mach.DebugRaces = true
+	pl, err := NewPlan(mach, m, n, p, cores, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := randMat(rng, m*n), randMat(rng, n*p)
+	if err := pl.WriteA(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.WriteB(b); err != nil {
+		t.Fatal(err)
+	}
+	mark := mach.Mark()
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := mach.ReportSince(mark, "mmm", pl.Cores)
+	want := phy.MatMul(a, b, m, n, p, pl.Opt.Shift)
+	return pl.ReadC(), want, rep
+}
+
+func TestParallelMatchesGolden(t *testing.T) {
+	cases := []struct {
+		cfg     *arch.Config
+		m, n, p int
+		cores   int
+	}{
+		{arch.MemPool(), 16, 16, 16, 4},
+		{arch.MemPool(), 32, 16, 32, 64},
+		{arch.MemPool(), 64, 32, 64, 256},
+		{arch.TeraPool(), 64, 32, 32, 512},
+		{arch.TeraPool(), 128, 16, 64, 1024},
+	}
+	for i, tc := range cases {
+		got, want, _ := runPlan(t, tc.cfg, tc.m, tc.n, tc.p, tc.cores, Options{}, uint64(i*10+1))
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("case %d (%s %dx%dx%d on %d cores): element %d = %08x, want %08x",
+					i, tc.cfg.Name, tc.m, tc.n, tc.p, tc.cores, j, uint32(got[j]), uint32(want[j]))
+			}
+		}
+	}
+}
+
+func TestSerialMatchesGolden(t *testing.T) {
+	got, want, _ := runPlan(t, arch.MemPool(), 16, 32, 16, 1, Options{}, 77)
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("serial element %d mismatch", j)
+		}
+	}
+}
+
+func TestWindowShapesCorrect(t *testing.T) {
+	for _, w := range []Window{Win4x4, Win4x2, Win2x2} {
+		got, want, _ := runPlan(t, arch.MemPool(), 16, 16, 16, 16, Options{Window: w}, 99)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("window %dx%d: element %d mismatch", w.Rows, w.Cols, j)
+			}
+		}
+	}
+}
+
+// TestWindowAblation reproduces the register-blocking argument: the 4x4
+// window retires more MACs per cycle than 4x2, which beats 2x2.
+func TestWindowAblation(t *testing.T) {
+	rate := func(w Window) float64 {
+		_, _, rep := runPlan(t, arch.MemPool(), 64, 64, 64, 256, Options{Window: w}, 123)
+		return rep.MACsPerCycle()
+	}
+	r44, r42, r22 := rate(Win4x4), rate(Win4x2), rate(Win2x2)
+	if !(r44 > r42 && r42 > r22) {
+		t.Errorf("MACs/cycle ordering violated: 4x4=%.1f 4x2=%.1f 2x2=%.1f", r44, r42, r22)
+	}
+}
+
+// TestStaggerReducesConflicts verifies the column start-shift trick: with
+// staggering disabled, same-tile cores stream the same B banks and suffer
+// more memory stalls.
+func TestStaggerReducesConflicts(t *testing.T) {
+	run := func(noStagger bool) float64 {
+		_, _, rep := runPlan(t, arch.MemPool(), 32, 64, 64, 64, Options{NoStagger: noStagger}, 55)
+		return rep.MemStallFraction()
+	}
+	with := run(false)
+	without := run(true)
+	if with >= without {
+		t.Errorf("stagger did not reduce memory stalls: with=%.4f without=%.4f", with, without)
+	}
+}
+
+// TestSpeedupAndUtilization checks Fig. 9 behaviour for a mid-size MMM.
+func TestSpeedupAndUtilization(t *testing.T) {
+	_, _, par := runPlan(t, arch.MemPool(), 64, 64, 64, 256, Options{}, 11)
+	_, _, ser := runPlan(t, arch.MemPool(), 64, 64, 64, 1, Options{}, 11)
+	sp := engine.Speedup(ser, par)
+	if sp < 64 || sp > 256 {
+		t.Errorf("speedup %.1f outside plausible range for 256 cores", sp)
+	}
+	if u := engine.Utilization(ser, par); u < 0.25 || u > 1 {
+		t.Errorf("utilization %.2f outside (0.25, 1]", u)
+	}
+}
+
+// TestMemoryStallsUnder10Percent asserts the paper's <10% memory-stall
+// claim for the optimized (staggered, 4x4) kernel.
+func TestMemoryStallsUnder10Percent(t *testing.T) {
+	_, _, rep := runPlan(t, arch.MemPool(), 64, 64, 64, 256, Options{}, 42)
+	if f := rep.MemStallFraction(); f >= 0.10 {
+		t.Errorf("memory stall fraction %.3f, want < 0.10", f)
+	}
+}
+
+// TestIdleLanesAllowed: more cores than windows leaves the extras idle
+// but must still complete correctly.
+func TestIdleLanesAllowed(t *testing.T) {
+	got, want, _ := runPlan(t, arch.MemPool(), 8, 16, 8, 32, Options{}, 31)
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("element %d mismatch with idle lanes", j)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	m := engine.NewMachine(arch.MemPool())
+	if _, err := NewPlan(m, 0, 4, 4, 1, Options{}); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := NewPlan(m, 6, 4, 4, 1, Options{}); err == nil {
+		t.Error("m not multiple of window accepted")
+	}
+	if _, err := NewPlan(m, 4, 4, 6, 1, Options{}); err == nil {
+		t.Error("p not multiple of window accepted")
+	}
+	if _, err := NewPlan(m, 4, 4, 4, 0, Options{}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewPlan(m, 4, 4, 4, 1<<20, Options{}); err == nil {
+		t.Error("too many cores accepted")
+	}
+	pl, err := NewPlan(m, 4, 4, 4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.WriteA(make([]fixed.C15, 3)); err == nil {
+		t.Error("short A accepted")
+	}
+	if err := pl.WriteB(make([]fixed.C15, 3)); err == nil {
+		t.Error("short B accepted")
+	}
+}
+
+// TestDefaultShiftPreventsSaturation: full-scale inputs with the default
+// shift must not saturate the output.
+func TestDefaultShiftPreventsSaturation(t *testing.T) {
+	mach := engine.NewMachine(arch.MemPool())
+	n := 16
+	pl, err := NewPlan(mach, 4, n, 4, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]fixed.C15, 4*n)
+	for i := range full {
+		full[i] = fixed.Pack(fixed.MaxQ15, 0)
+	}
+	if err := pl.WriteA(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.WriteB(full[:n*4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pl.ReadC() {
+		// Sum of n products of ~1.0 scaled by 1/n stays near 1.0 without
+		// wrapping; saturation to MaxQ15 is the correct ceiling.
+		if v.Re() < 0 {
+			t.Fatalf("element %d wrapped negative: %d", i, v.Re())
+		}
+	}
+}
+
+// TestExternalTransposedChaining reproduces the chain's zero-copy hookup:
+// matrix A lives in an externally provided column-major buffer (the FFT
+// output layout) and C lands in an external buffer read downstream.
+func TestExternalTransposedChaining(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	mach := engine.NewMachine(arch.MemPool())
+	const m, n, p = 32, 16, 8
+
+	aBase, err := mach.Mem.AllocSeq(m * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cBase, err := mach.Mem.AllocSeq(m * p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randMat(rng, m*n)
+	// Column-major placement, as FFT instance outputs would be.
+	for i := 0; i < m; i++ {
+		for k := 0; k < n; k++ {
+			mach.Mem.Write(aBase+arch.Addr(k*m+i), uint32(a[i*n+k]))
+		}
+	}
+	pl, err := NewPlan(mach, m, n, p, 64, Options{
+		AExternal:   &aBase,
+		ATransposed: true,
+		CExternal:   &cBase,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randMat(rng, n*p)
+	if err := pl.WriteB(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := phy.MatMul(a, b, m, n, p, pl.Opt.Shift)
+	for i := range want {
+		got := fixed.C15(mach.Mem.Read(cBase + arch.Addr(i)))
+		if got != want[i] {
+			t.Fatalf("external C element %d = %08x, want %08x", i, uint32(got), uint32(want[i]))
+		}
+	}
+	if pl.CBase() != cBase || pl.ABase() != aBase {
+		t.Error("external base accessors disagree")
+	}
+}
+
+// TestWriteATransposedRoundTrip: WriteA must honor the transposed layout.
+func TestWriteATransposedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(103, 104))
+	mach := engine.NewMachine(arch.MemPool())
+	pl, err := NewPlan(mach, 8, 4, 4, 4, Options{ATransposed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randMat(rng, 8*4)
+	if err := pl.WriteA(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for k := 0; k < 4; k++ {
+			if got := fixed.C15(mach.Mem.Read(pl.aAddr(i, k))); got != a[i*4+k] {
+				t.Fatalf("A[%d][%d] mismatch", i, k)
+			}
+		}
+	}
+}
+
+// TestZeroShiftOption: ZeroShift must disable the default log2(n) scaling.
+func TestZeroShiftOption(t *testing.T) {
+	mach := engine.NewMachine(arch.MemPool())
+	pl, err := NewPlan(mach, 4, 16, 4, 1, Options{ZeroShift: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Opt.Shift != 0 {
+		t.Errorf("shift = %d with ZeroShift", pl.Opt.Shift)
+	}
+	pl2, err := NewPlan(mach, 4, 16, 4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.Opt.Shift != 4 {
+		t.Errorf("default shift = %d, want 4", pl2.Opt.Shift)
+	}
+}

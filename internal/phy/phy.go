@@ -1,0 +1,270 @@
+// Package phy contains serial, untimed fixed-point implementations of the
+// PUSCH kernels, operating on plain slices of packed Q1.15 samples. They
+// define the canonical arithmetic (operation order, rounding points,
+// scaling) for the machine kernels in internal/kernels/...: a parallel
+// kernel run on the simulator must produce bit-identical results to the
+// corresponding phy routine, which tests assert. phy routines in turn are
+// validated against the float64 golden models in internal/ref with
+// quantization-aware tolerances.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fixed"
+)
+
+// Twiddles returns the packed Q1.15 twiddle table for an n-point FFT:
+// tw[k] = exp(-2*pi*i*k/n) for k in [0, 3n/4), the largest exponent a
+// radix-4 DIF butterfly consumes.
+func Twiddles(n int) []fixed.C15 {
+	tw := make([]fixed.C15, 3*n/4)
+	for k := range tw {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		tw[k] = fixed.Pack(
+			fixed.FloatToQ15(math.Cos(angle)),
+			fixed.FloatToQ15(math.Sin(angle)),
+		)
+	}
+	return tw
+}
+
+// Butterfly4 computes one scaled radix-4 DIF butterfly. The adder tree is
+// evaluated exactly in widened Q2.30 form and every output is rounded
+// exactly once while scaling by 1/4, so an s-stage FFT returns DFT(x)/N
+// without overflow and with a single quantization per stage. The exact
+// operation order here is the contract the machine kernel reproduces.
+func Butterfly4(a, b, c, e, w1, w2, w3 fixed.C15) (y0, y1, y2, y3 fixed.C15) {
+	wa, wb, wc, we := fixed.AccFromC15(a), fixed.AccFromC15(b), fixed.AccFromC15(c), fixed.AccFromC15(e)
+	t0 := fixed.AddAcc(wa, wc)
+	t1 := fixed.SubAcc(wa, wc)
+	t2 := fixed.AddAcc(wb, we)
+	t3 := fixed.MulNegJAcc(fixed.SubAcc(wb, we))
+	y0 = fixed.AddAcc(t0, t2).Narrow(2)
+	y1 = fixed.MulAccTw(fixed.AddAcc(t1, t3), w1, 2)
+	y2 = fixed.MulAccTw(fixed.SubAcc(t0, t2), w2, 2)
+	y3 = fixed.MulAccTw(fixed.SubAcc(t1, t3), w3, 2)
+	return y0, y1, y2, y3
+}
+
+// FFT computes the n-point radix-4 DIF FFT of x (n a power of four) with
+// per-stage 1/4 scaling, returning the spectrum in natural order scaled
+// by 1/n. The input slice is not modified.
+func FFT(x []fixed.C15, tw []fixed.C15) []fixed.C15 {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 || n&0x55555555 == 0 {
+		panic(fmt.Sprintf("phy: FFT size %d is not a power of 4", n))
+	}
+	if len(tw) < 3*n/4 {
+		panic(fmt.Sprintf("phy: twiddle table too small: %d < %d", len(tw), 3*n/4))
+	}
+	work := make([]fixed.C15, n)
+	copy(work, x)
+	for d := n / 4; d >= 1; d /= 4 {
+		span := 4 * d
+		step := n / span
+		for base := 0; base < n; base += span {
+			for r := 0; r < d; r++ {
+				i0 := base + r
+				w1, w2, w3 := tw[r*step], tw[2*r*step], tw[3*r*step]
+				y0, y1, y2, y3 := Butterfly4(work[i0], work[i0+d], work[i0+2*d], work[i0+3*d], w1, w2, w3)
+				work[i0], work[i0+d], work[i0+2*d], work[i0+3*d] = y0, y1, y2, y3
+			}
+		}
+	}
+	out := make([]fixed.C15, n)
+	for i := 0; i < n; i++ {
+		out[DigitReverse4(i, n)] = work[i]
+	}
+	return out
+}
+
+// DigitReverse4 reverses the base-4 digits of i within n points (n a
+// power of four); the FFT's final reordering.
+func DigitReverse4(i, n int) int {
+	r := 0
+	for n > 1 {
+		r = r<<2 | i&3
+		i >>= 2
+		n >>= 2
+	}
+	return r
+}
+
+// MatMul computes the complex matrix product c = a*b on packed Q1.15
+// data: a is m-by-n row-major, b is n-by-p row-major. Products accumulate
+// in Q2.30 and are scaled by 2^-shift when narrowed back, so callers pick
+// shift >= log2(n) to guarantee no saturation for full-scale inputs.
+func MatMul(a, b []fixed.C15, m, n, p int, shift uint) []fixed.C15 {
+	if len(a) != m*n || len(b) != n*p {
+		panic(fmt.Sprintf("phy: MatMul shapes %dx%d * %dx%d with %d, %d elements", m, n, n, p, len(a), len(b)))
+	}
+	c := make([]fixed.C15, m*p)
+	for i := 0; i < m; i++ {
+		for j := 0; j < p; j++ {
+			var acc fixed.Acc
+			for k := 0; k < n; k++ {
+				acc = fixed.MacInto(acc, a[i*n+k], b[k*p+j])
+			}
+			c[i*p+j] = acc.Narrow(shift)
+		}
+	}
+	return c
+}
+
+// Cholesky decomposes the Hermitian positive-definite n-by-n matrix g
+// (packed Q1.15, row-major) into the lower-triangular l with real
+// positive diagonal such that l*l^H = g, in Cholesky-Crout column order.
+// Entries above the diagonal of the result are zero.
+func Cholesky(g []fixed.C15, n int) []fixed.C15 {
+	if len(g) != n*n {
+		panic(fmt.Sprintf("phy: Cholesky size %d with %d elements", n, len(g)))
+	}
+	l := make([]fixed.C15, n*n)
+	for j := 0; j < n; j++ {
+		// Diagonal: l[j][j] = sqrt(g[j][j] - sum_k |l[j][k]|^2).
+		var sum fixed.Acc
+		for k := 0; k < j; k++ {
+			sum = fixed.MacAbs2Into(sum, l[j*n+k])
+		}
+		pivot := fixed.SubAcc(fixed.AccFromC15(g[j*n+j]), sum)
+		d := fixed.SqrtQ30toQ15(pivot.Re)
+		l[j*n+j] = fixed.Pack(d, 0)
+		// Column below the diagonal.
+		for i := j + 1; i < n; i++ {
+			var acc fixed.Acc
+			for k := 0; k < j; k++ {
+				acc = fixed.MacConjInto(acc, l[i*n+k], l[j*n+k])
+			}
+			num := fixed.SubAcc(fixed.AccFromC15(g[i*n+j]), acc)
+			l[i*n+j] = fixed.Pack(
+				fixed.DivQ30byQ15(num.Re, d),
+				fixed.DivQ30byQ15(num.Im, d),
+			)
+		}
+	}
+	return l
+}
+
+// ForwardSub solves l*y = b for lower-triangular l (n-by-n packed Q1.15
+// with real diagonal), the first triangular system of the MIMO stage.
+func ForwardSub(l, b []fixed.C15, n int) []fixed.C15 {
+	y := make([]fixed.C15, n)
+	for i := 0; i < n; i++ {
+		var acc fixed.Acc
+		for k := 0; k < i; k++ {
+			acc = fixed.MacInto(acc, l[i*n+k], y[k])
+		}
+		num := fixed.SubAcc(fixed.AccFromC15(b[i]), acc)
+		d := l[i*n+i].Re()
+		y[i] = fixed.Pack(
+			fixed.DivQ30byQ15(num.Re, d),
+			fixed.DivQ30byQ15(num.Im, d),
+		)
+	}
+	return y
+}
+
+// BackSubHermitian solves l^H*x = y for lower-triangular l, the second
+// triangular system of the MIMO stage.
+func BackSubHermitian(l, y []fixed.C15, n int) []fixed.C15 {
+	x := make([]fixed.C15, n)
+	for i := n - 1; i >= 0; i-- {
+		var acc fixed.Acc
+		for k := i + 1; k < n; k++ {
+			acc = fixed.MacConjInto(acc, x[k], l[k*n+i])
+		}
+		num := fixed.SubAcc(fixed.AccFromC15(y[i]), acc)
+		d := l[i*n+i].Re()
+		x[i] = fixed.Pack(
+			fixed.DivQ30byQ15(num.Re, d),
+			fixed.DivQ30byQ15(num.Im, d),
+		)
+	}
+	return x
+}
+
+// Gramian computes g = h^H*h * 2^-shift + sigma2*I for the nb-by-nl
+// channel matrix h (row-major). sigma2 is a Q1.15 real value added to the
+// diagonal. The MIMO stage decomposes this matrix.
+func Gramian(h []fixed.C15, nb, nl int, shift uint, sigma2 int16) []fixed.C15 {
+	if len(h) != nb*nl {
+		panic(fmt.Sprintf("phy: Gramian %dx%d with %d elements", nb, nl, len(h)))
+	}
+	g := make([]fixed.C15, nl*nl)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nl; j++ {
+			var acc fixed.Acc
+			for b := 0; b < nb; b++ {
+				// conj(h[b][i]) * h[b][j]
+				acc = fixed.MacConjInto(acc, h[b*nl+j], h[b*nl+i])
+			}
+			v := acc.Narrow(shift)
+			if i == j {
+				v = fixed.Add(v, fixed.Pack(sigma2, 0))
+			}
+			g[i*nl+j] = v
+		}
+	}
+	return g
+}
+
+// MatVecConjT computes z = h^H * y * 2^-shift for the nb-by-nl matrix h:
+// the matched filter in front of the MIMO solves.
+func MatVecConjT(h, y []fixed.C15, nb, nl int, shift uint) []fixed.C15 {
+	z := make([]fixed.C15, nl)
+	for l := 0; l < nl; l++ {
+		var acc fixed.Acc
+		for b := 0; b < nb; b++ {
+			acc = fixed.MacConjInto(acc, y[b], h[b*nl+l])
+		}
+		z[l] = acc.Narrow(shift)
+	}
+	return z
+}
+
+// EWDivide performs the element-wise division of the channel-estimation
+// stage: out[i] = num[i] / den[i].
+func EWDivide(num, den []fixed.C15) []fixed.C15 {
+	if len(num) != len(den) {
+		panic("phy: EWDivide length mismatch")
+	}
+	out := make([]fixed.C15, len(num))
+	for i := range num {
+		out[i] = fixed.CDiv(num[i], den[i])
+	}
+	return out
+}
+
+// NoisePower computes the mean squared magnitude of the residual vector
+// in Q2.30 (the NE autocorrelation stage). The divide by len uses the
+// iterative unit in hardware; here it is plain integer math.
+func NoisePower(residual []fixed.C15) int64 {
+	if len(residual) == 0 {
+		return 0
+	}
+	var acc fixed.Acc
+	for _, r := range residual {
+		acc = fixed.MacAbs2Into(acc, r)
+	}
+	return acc.Re / int64(len(residual))
+}
+
+// ToComplexSlice converts packed samples to complex128 (test helper).
+func ToComplexSlice(x []fixed.C15) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = v.Complex()
+	}
+	return out
+}
+
+// FromComplexSlice quantizes a complex slice to packed Q1.15.
+func FromComplexSlice(x []complex128) []fixed.C15 {
+	out := make([]fixed.C15, len(x))
+	for i, v := range x {
+		out[i] = fixed.FromComplex(v)
+	}
+	return out
+}

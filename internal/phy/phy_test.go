@@ -1,0 +1,318 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/ref"
+)
+
+// randC15 returns n random packed samples with |re|,|im| <= amp.
+func randC15(rng *rand.Rand, n int, amp float64) []fixed.C15 {
+	out := make([]fixed.C15, n)
+	for i := range out {
+		out[i] = fixed.FromComplex(complex(
+			(rng.Float64()*2-1)*amp,
+			(rng.Float64()*2-1)*amp,
+		))
+	}
+	return out
+}
+
+func snrDB(signal, noise float64) float64 {
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(signal/noise)
+}
+
+func TestFFTMatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 200))
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		x := randC15(rng, n, 0.9)
+		got := FFT(x, Twiddles(n))
+		// Reference: DFT of the quantized input, scaled by 1/n to match
+		// the per-stage halving.
+		want := ref.FFTRadix4(ToComplexSlice(x))
+		var errRMS, sigRMS float64
+		for i := range want {
+			want[i] /= complex(float64(n), 0)
+			d := got[i].Complex() - want[i]
+			errRMS += real(d)*real(d) + imag(d)*imag(d)
+			sigRMS += real(want[i])*real(want[i]) + imag(want[i])*imag(want[i])
+		}
+		errRMS = math.Sqrt(errRMS / float64(n))
+		sigRMS = math.Sqrt(sigRMS / float64(n))
+		if snr := snrDB(sigRMS, errRMS); snr < 25 {
+			t.Errorf("n=%d: fixed-point FFT SNR %.1f dB, want >= 25", n, snr)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// An impulse of amplitude A at index 0 yields a flat spectrum A/n.
+	n := 256
+	x := make([]fixed.C15, n)
+	x[0] = fixed.Pack(fixed.MaxQ15, 0)
+	out := FFT(x, Twiddles(n))
+	want := 1.0 / float64(n)
+	for k, v := range out {
+		if math.Abs(real(v.Complex())-want) > 4.0/(1<<15) || math.Abs(imag(v.Complex())) > 4.0/(1<<15) {
+			t.Fatalf("bin %d = %v, want ~%g", k, v.Complex(), want)
+		}
+	}
+}
+
+func TestFFTPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, 2, 8, 32, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FFT accepted size %d", n)
+				}
+			}()
+			FFT(make([]fixed.C15, n), Twiddles(256))
+		}()
+	}
+}
+
+func TestFFTPanicsOnShortTwiddles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FFT accepted short twiddle table")
+		}
+	}()
+	FFT(make([]fixed.C15, 256), Twiddles(64))
+}
+
+func TestDigitReverse4MatchesRef(t *testing.T) {
+	for _, n := range []int{4, 64, 4096} {
+		for i := 0; i < n; i++ {
+			if DigitReverse4(i, n) != ref.DigitReverse4(i, n) {
+				t.Fatalf("DigitReverse4(%d, %d) mismatch", i, n)
+			}
+		}
+	}
+}
+
+func TestMatMulMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewPCG(300, 400))
+	m, n, p := 8, 16, 12
+	a := randC15(rng, m*n, 0.7)
+	b := randC15(rng, n*p, 0.7)
+	shift := uint(4) // log2(16)
+	got := MatMul(a, b, m, n, p, shift)
+
+	am := &ref.Mat{Rows: m, Cols: n, Data: ToComplexSlice(a)}
+	bm := &ref.Mat{Rows: n, Cols: p, Data: ToComplexSlice(b)}
+	want := ref.MatMul(am, bm)
+	for i := 0; i < m*p; i++ {
+		w := want.Data[i] / complex(float64(int(1)<<shift), 0)
+		if cmplx.Abs(got[i].Complex()-w) > 1e-3 {
+			t.Fatalf("element %d: got %v, want %v", i, got[i].Complex(), w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 8
+	a := randC15(rng, n*n, 0.5)
+	id := make([]fixed.C15, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = fixed.Pack(fixed.MaxQ15, 0) // ~1.0
+	}
+	got := MatMul(a, id, n, n, n, 0)
+	for i := range got {
+		if cmplx.Abs(got[i].Complex()-a[i].Complex()) > 1e-3 {
+			t.Fatalf("A*I element %d: %v vs %v", i, got[i].Complex(), a[i].Complex())
+		}
+	}
+}
+
+// scaledGramian builds a well-conditioned Q15 Gramian for Cholesky tests.
+func scaledGramian(rng *rand.Rand, n int) []fixed.C15 {
+	nb := 2 * n
+	h := randC15(rng, nb*n, 0.6)
+	shift := uint(0)
+	for 1<<shift < nb {
+		shift++
+	}
+	return Gramian(h, nb, n, shift+1, fixed.FloatToQ15(0.05))
+}
+
+func TestCholeskyMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewPCG(500, 600))
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		g := scaledGramian(rng, n)
+		l := Cholesky(g, n)
+		// Compare against the float Cholesky of the quantized G.
+		gm := &ref.Mat{Rows: n, Cols: n, Data: ToComplexSlice(g)}
+		lref, err := ref.Cholesky(gm)
+		if err != nil {
+			t.Fatalf("n=%d: reference Cholesky failed: %v", n, err)
+		}
+		var maxd float64
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				d := cmplx.Abs(l[i*n+j].Complex() - lref.At(i, j))
+				if d > maxd {
+					maxd = d
+				}
+			}
+		}
+		if maxd > 0.01 {
+			t.Errorf("n=%d: max |L - Lref| = %g", n, maxd)
+		}
+		// Upper triangle stays zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l[i*n+j] != 0 {
+					t.Fatalf("n=%d: upper element (%d,%d) nonzero", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(700, 800))
+	n := 8
+	g := scaledGramian(rng, n)
+	l := Cholesky(g, n)
+	// L*L^H must reproduce G within quantization tolerance.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var acc complex128
+			for k := 0; k <= j; k++ {
+				acc += l[i*n+k].Complex() * cmplx.Conj(l[j*n+k].Complex())
+			}
+			if d := cmplx.Abs(acc - g[i*n+j].Complex()); d > 0.01 {
+				t.Errorf("(L L^H)[%d][%d] differs from G by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestTriangularSolvesMatchFloat(t *testing.T) {
+	rng := rand.New(rand.NewPCG(900, 1000))
+	n := 8
+	g := scaledGramian(rng, n)
+	l := Cholesky(g, n)
+	lm := &ref.Mat{Rows: n, Cols: n, Data: ToComplexSlice(l)}
+
+	// Scale the right-hand side so the float solution stays comfortably
+	// inside Q1.15; the chain guarantees this regime by construction.
+	b := randC15(rng, n, 0.2)
+	xf := ref.BackSubHermitian(lm, ref.ForwardSub(lm, ToComplexSlice(b)))
+	var peak float64
+	for _, v := range xf {
+		peak = math.Max(peak, math.Max(math.Abs(real(v)), math.Abs(imag(v))))
+	}
+	if peak > 0.5 {
+		scale := 0.5 / peak
+		for i := range b {
+			b[i] = fixed.FromComplex(b[i].Complex() * complex(scale, 0))
+		}
+	}
+	bv := ToComplexSlice(b)
+
+	y := ForwardSub(l, b, n)
+	yref := ref.ForwardSub(lm, bv)
+	for i := range y {
+		if cmplx.Abs(y[i].Complex()-yref[i]) > 0.02 {
+			t.Fatalf("ForwardSub[%d]: %v vs %v", i, y[i].Complex(), yref[i])
+		}
+	}
+
+	x := BackSubHermitian(l, y, n)
+	xref := ref.BackSubHermitian(lm, ToComplexSlice(y))
+	for i := range x {
+		if cmplx.Abs(x[i].Complex()-xref[i]) > 0.02 {
+			t.Fatalf("BackSub[%d]: %v vs %v", i, x[i].Complex(), xref[i])
+		}
+	}
+}
+
+func TestMIMOEndToEndFixedPoint(t *testing.T) {
+	// Full MIMO stage in fixed point: Gramian, Cholesky, matched filter,
+	// two solves. Compare with the float MMSE equalizer.
+	rng := rand.New(rand.NewPCG(1100, 1200))
+	nb, nl := 16, 4
+	h := randC15(rng, nb*nl, 0.4)
+	x := randC15(rng, nl, 0.4)
+	// y = h*x in float, quantized (channel output).
+	hm := &ref.Mat{Rows: nb, Cols: nl, Data: ToComplexSlice(h)}
+	yf := ref.MatVec(hm, ToComplexSlice(x))
+	y := FromComplexSlice(yf)
+
+	shift := uint(5) // 2^5 = 32 >= nb=16 with margin
+	sigma2 := fixed.FloatToQ15(0.01)
+	g := Gramian(h, nb, nl, shift, sigma2)
+	l := Cholesky(g, nl)
+	z := MatVecConjT(h, y, nb, nl, shift)
+	xhat := BackSubHermitian(l, ForwardSub(l, z, nl), nl)
+
+	want, err := ref.MMSEEqualize(hm, yf, fixed.Q15ToFloat(sigma2)*float64(int(1)<<shift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xhat {
+		if d := cmplx.Abs(xhat[i].Complex() - want[i]); d > 0.05 {
+			t.Errorf("xhat[%d] = %v, want %v (|d|=%g)", i, xhat[i].Complex(), want[i], d)
+		}
+	}
+}
+
+func TestEWDivide(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1300, 1400))
+	num := randC15(rng, 64, 0.5)
+	den := make([]fixed.C15, 64)
+	for i := range den {
+		// Unit-modulus QPSK pilots.
+		s := [4]complex128{
+			complex(math.Sqrt2/2, math.Sqrt2/2),
+			complex(-math.Sqrt2/2, math.Sqrt2/2),
+			complex(-math.Sqrt2/2, -math.Sqrt2/2),
+			complex(math.Sqrt2/2, -math.Sqrt2/2),
+		}[rng.IntN(4)]
+		den[i] = fixed.FromComplex(s)
+	}
+	got := EWDivide(num, den)
+	for i := range got {
+		want := num[i].Complex() / den[i].Complex()
+		if cmplx.Abs(got[i].Complex()-want) > 0.002 {
+			t.Fatalf("element %d: %v vs %v", i, got[i].Complex(), want)
+		}
+	}
+}
+
+func TestNoisePower(t *testing.T) {
+	// Residuals of constant magnitude r have noise power r^2.
+	n := 128
+	res := make([]fixed.C15, n)
+	for i := range res {
+		res[i] = fixed.Pack(fixed.FloatToQ15(0.25), 0)
+	}
+	got := float64(NoisePower(res)) / float64(fixed.OneQ30)
+	if math.Abs(got-0.0625) > 1e-4 {
+		t.Errorf("NoisePower = %g, want 0.0625", got)
+	}
+	if NoisePower(nil) != 0 {
+		t.Error("NoisePower(nil) != 0")
+	}
+}
+
+func TestComplexSliceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1500, 1600))
+	x := randC15(rng, 32, 0.9)
+	back := FromComplexSlice(ToComplexSlice(x))
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package pusch
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/fixed"
+	"repro/internal/kernels/chest"
+	"repro/internal/kernels/fft"
+	"repro/internal/kernels/mimo"
+	"repro/internal/kernels/mmm"
+	"repro/internal/waveform"
+)
+
+// ChainConfig describes one end-to-end functional run of the receive
+// chain on the simulator: UE transmitters, a multipath MIMO channel and
+// AWGN feed the full kernel pipeline, and the detected bits are compared
+// with the transmitted ones.
+type ChainConfig struct {
+	Cluster *arch.Config
+
+	NSC    int // subcarriers = FFT size (power of four)
+	NR     int // receive antennas (multiple of 4)
+	NB     int // beams (multiple of 4, <= NR)
+	NL     int // UEs (<= 4)
+	NSymb  int // OFDM symbols per slot
+	NPilot int // pilot symbols (must be 2: the noise estimate differences them)
+
+	Scheme   waveform.Scheme
+	SNRdB    float64
+	DataAmp  float64 // per-subcarrier data amplitude (default 0.25)
+	PilotAmp float64 // pilot amplitude (default 0.5)
+	Taps     int     // channel taps (default 4)
+	Seed     uint64
+	// InterpolateChannel enables linear comb interpolation in the MIMO
+	// stage (better tracking of frequency-selective channels at the cost
+	// of extra loads and multiplies per gathered element).
+	InterpolateChannel bool
+}
+
+// ChainResult summarizes a chain run.
+type ChainResult struct {
+	BER      float64
+	EVMdB    float64
+	SigmaEst float64
+
+	TotalCycles int64
+	TimeMs      float64 // at the paper's nominal 1 GHz clock
+
+	// Stage reports aggregate cycles and stalls per chain stage across
+	// all symbols.
+	Stages map[Stage]engine.Report
+}
+
+func (c *ChainConfig) setDefaults() {
+	if c.Cluster == nil {
+		c.Cluster = arch.MemPool()
+	}
+	if c.DataAmp == 0 {
+		c.DataAmp = 0.25
+	}
+	if c.PilotAmp == 0 {
+		c.PilotAmp = 0.5
+	}
+	if c.Taps == 0 {
+		c.Taps = 4
+	}
+}
+
+// validate rejects configurations the kernels cannot schedule.
+func (c *ChainConfig) validate() error {
+	switch {
+	case c.NSC < 64 || c.NSC&(c.NSC-1) != 0 || c.NSC&0x55555555 == 0:
+		return fmt.Errorf("pusch: NSC %d must be a power of 4 >= 64", c.NSC)
+	case c.NR%4 != 0 || c.NR <= 0:
+		return fmt.Errorf("pusch: NR %d must be a positive multiple of 4", c.NR)
+	case c.NB%4 != 0 || c.NB <= 0 || c.NB > c.NR:
+		return fmt.Errorf("pusch: NB %d must be a positive multiple of 4, <= NR", c.NB)
+	case c.NL <= 0 || c.NL > 4:
+		return fmt.Errorf("pusch: NL %d must be in 1..4", c.NL)
+	case c.NSC%c.NL != 0:
+		return fmt.Errorf("pusch: NSC %d must be a multiple of NL %d", c.NSC, c.NL)
+	case c.NPilot != 2:
+		return fmt.Errorf("pusch: NPilot must be 2 (differential noise estimation), got %d", c.NPilot)
+	case c.NSymb <= c.NPilot:
+		return fmt.Errorf("pusch: NSymb %d must exceed NPilot %d", c.NSymb, c.NPilot)
+	}
+	lanes := c.NSC / 16
+	if lanes > c.Cluster.NumCores() {
+		return fmt.Errorf("pusch: one %d-point FFT needs %d lanes, cluster has %d cores", c.NSC, lanes, c.Cluster.NumCores())
+	}
+	return nil
+}
+
+// fftBatch chooses how many FFTs share a lane set so all NR transforms
+// fit on the cluster.
+func (c *ChainConfig) fftBatch() (batch int, err error) {
+	lanes := c.NSC / 16
+	maxJobs := c.Cluster.NumCores() / lanes
+	if maxJobs == 0 {
+		return 0, fmt.Errorf("pusch: FFT lanes exceed core count")
+	}
+	batch = (c.NR + maxJobs - 1) / maxJobs
+	for c.NR%batch != 0 {
+		batch++
+	}
+	return batch, nil
+}
+
+// RunChain executes the full receive chain and reports link quality plus
+// per-stage timing.
+func RunChain(cfg ChainConfig) (*ChainResult, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+
+	// ---- Transmit side (float, host) ----
+	pilots := waveform.QPSKPilots(uint32(cfg.Seed)|1, cfg.NSC, cfg.PilotAmp)
+	bps := cfg.Scheme.BitsPerSymbol()
+	nData := cfg.NSymb - cfg.NPilot
+	txBits := make([][][]byte, cfg.NL) // [ue][dataSymbol][bits]
+	grids := make([][][]complex128, cfg.NL)
+	for l := 0; l < cfg.NL; l++ {
+		txBits[l] = make([][]byte, nData)
+		grids[l] = make([][]complex128, cfg.NSymb)
+		for s := 0; s < cfg.NSymb; s++ {
+			g := make([]complex128, cfg.NSC)
+			if s < cfg.NPilot {
+				for sc := l; sc < cfg.NSC; sc += cfg.NL {
+					g[sc] = pilots[sc]
+				}
+			} else {
+				bits := waveform.RandBits(rng, cfg.NSC*bps)
+				txBits[l][s-cfg.NPilot] = bits
+				syms, err := waveform.Modulate(cfg.Scheme, bits, cfg.DataAmp)
+				if err != nil {
+					return nil, err
+				}
+				copy(g, syms)
+			}
+			grids[l][s] = g
+		}
+	}
+
+	// ---- Channel ----
+	ch := waveform.NewChannel(rng, cfg.NR, cfg.NL, cfg.Taps)
+	noiseStd := cfg.DataAmp * math.Pow(10, -cfg.SNRdB/20) / math.Sqrt2
+	rxTime := make([][][]complex128, cfg.NSymb) // [symbol][antenna][sample]
+	for s := 0; s < cfg.NSymb; s++ {
+		tx := make([][]complex128, cfg.NL)
+		for l := 0; l < cfg.NL; l++ {
+			tx[l] = waveform.OFDMModulate(grids[l][s])
+		}
+		rx, err := ch.Apply(rng, tx, noiseStd)
+		if err != nil {
+			return nil, err
+		}
+		rxTime[s] = rx
+	}
+
+	// ---- Receive chain on the simulator ----
+	m := engine.NewMachine(cfg.Cluster)
+	res := &ChainResult{Stages: make(map[Stage]engine.Report)}
+
+	batch, err := cfg.fftBatch()
+	if err != nil {
+		return nil, err
+	}
+	fftPlan, err := fft.NewPlan(m, cfg.NSC, cfg.NR, batch, fft.Folded)
+	if err != nil {
+		return nil, err
+	}
+	fftOut := fftPlan.OutBase(0)
+	bfPlan, err := mmm.NewPlan(m, cfg.NSC, cfg.NR, cfg.NB, m.Cfg.NumCores(), mmm.Options{
+		AExternal:   &fftOut,
+		ATransposed: true,
+		ZeroShift:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Beamforming coefficients: unitary DFT beams, quantized.
+	w := waveform.DFTBeams(cfg.NB, cfg.NR)
+	bq := make([]fixed.C15, cfg.NR*cfg.NB)
+	for r := 0; r < cfg.NR; r++ {
+		for b := 0; b < cfg.NB; b++ {
+			bq[r*cfg.NB+b] = fixed.FromComplex(w.At(b, r))
+		}
+	}
+	if err := bfPlan.WriteB(bq); err != nil {
+		return nil, err
+	}
+	beamBase := bfPlan.CBase()
+
+	chestPlans := make([]*chest.Plan, cfg.NPilot)
+	for i := range chestPlans {
+		pl, err := chest.NewPlan(m, cfg.NSC, cfg.NB, cfg.NL, m.Cfg.NumCores(), &beamBase)
+		if err != nil {
+			return nil, err
+		}
+		pq := make([]fixed.C15, cfg.NSC)
+		for sc := range pq {
+			pq[sc] = fixed.FromComplex(pilots[sc])
+		}
+		if err := pl.WritePilots(pq); err != nil {
+			return nil, err
+		}
+		chestPlans[i] = pl
+	}
+	comb, err := newCombinePlan(m, chestPlans[0], chestPlans[1])
+	if err != nil {
+		return nil, err
+	}
+	mimoPlan, err := mimo.NewPlan(m, cfg.NSC, cfg.NB, cfg.NL, m.Cfg.NumCores(),
+		comb.HAddr, comb.SigmaAddr(), &beamBase)
+	if err != nil {
+		return nil, err
+	}
+	mimoPlan.Interp = cfg.InterpolateChannel
+
+	accumulate := func(stage Stage, mark engine.Mark, name string) {
+		rep := m.ReportSince(mark, name, nil)
+		agg := res.Stages[stage]
+		agg.Name = string(stage)
+		agg.Cores = rep.Cores
+		agg.Wall += rep.Wall
+		agg.Stats.Add(rep.Stats)
+		res.Stages[stage] = agg
+	}
+
+	var detected []fixed.C15
+	start := m.Cycles()
+	for s := 0; s < cfg.NSymb; s++ {
+		// OFDM demodulation: one FFT per antenna.
+		for a := 0; a < cfg.NR; a++ {
+			q := make([]fixed.C15, cfg.NSC)
+			for i, v := range rxTime[s][a] {
+				q[i] = fixed.FromComplex(v)
+			}
+			if err := fftPlan.WriteInput(a/batch, a%batch, q); err != nil {
+				return nil, err
+			}
+		}
+		mark := m.Mark()
+		if err := fftPlan.Run(); err != nil {
+			return nil, err
+		}
+		m.ClusterBarrier()
+		accumulate(StageOFDM, mark, "fft")
+
+		mark = m.Mark()
+		if err := bfPlan.Run(); err != nil {
+			return nil, err
+		}
+		m.ClusterBarrier()
+		accumulate(StageBF, mark, "bf")
+
+		switch {
+		case s < cfg.NPilot:
+			mark = m.Mark()
+			if err := chestPlans[s].Run(); err != nil {
+				return nil, err
+			}
+			m.ClusterBarrier()
+			accumulate(StageCHE, mark, "chest")
+			if s == cfg.NPilot-1 {
+				mark = m.Mark()
+				if err := comb.Run(); err != nil {
+					return nil, err
+				}
+				m.ClusterBarrier()
+				accumulate(StageNE, mark, "combine")
+			}
+		default:
+			mark = m.Mark()
+			if err := mimoPlan.Run(); err != nil {
+				return nil, err
+			}
+			m.ClusterBarrier()
+			accumulate(StageMIMO, mark, "mimo")
+			detected = append(detected, mimoPlan.ReadX()...)
+		}
+	}
+	res.TotalCycles = m.Cycles() - start
+	res.TimeMs = float64(res.TotalCycles) / 1e6 // 1 GHz -> 1e6 cycles per ms
+	res.SigmaEst = comb.Sigma()
+
+	// ---- Link quality (host) ----
+	var gotBits, wantBits []byte
+	var gotSyms, wantSyms []complex128
+	for d := 0; d < nData; d++ {
+		for l := 0; l < cfg.NL; l++ {
+			syms := make([]complex128, cfg.NSC)
+			for sc := 0; sc < cfg.NSC; sc++ {
+				syms[sc] = detected[(d*cfg.NSC+sc)*cfg.NL+l].Complex()
+			}
+			gotSyms = append(gotSyms, syms...)
+			wantSyms = append(wantSyms, grids[l][cfg.NPilot+d]...)
+			gotBits = append(gotBits, waveform.Demodulate(cfg.Scheme, syms, cfg.DataAmp)...)
+			wantBits = append(wantBits, txBits[l][d]...)
+		}
+	}
+	res.BER = waveform.BER(gotBits, wantBits)
+	res.EVMdB = waveform.EVMdB(gotSyms, wantSyms)
+	return res, nil
+}
+
+// combinePlan averages the two pilot-symbol channel estimates and
+// derives the noise variance from their difference: with a static
+// channel, h1 - h2 is pure noise, so sigma^2 = E|h1-h2|^2 / 2. This is
+// the NE stage realization for the block-type pilot arrangement.
+type combinePlan struct {
+	nsc, nb int
+	m       *engine.Machine
+	h1, h2  *chest.Plan
+	hAvg    arch.Addr
+	parts   arch.Addr
+	sigma   arch.Addr
+	cores   []int
+	shift   uint
+	gain    uint // noise-floor AGC: sigma word holds sigma^2 * 2^gain
+}
+
+func newCombinePlan(m *engine.Machine, h1, h2 *chest.Plan) (*combinePlan, error) {
+	if h1.NSC != h2.NSC || h1.NB != h2.NB {
+		return nil, fmt.Errorf("pusch: mismatched chest plans")
+	}
+	c := &combinePlan{nsc: h1.NSC, nb: h1.NB, m: m, h1: h1, h2: h2}
+	var err error
+	if c.hAvg, err = m.Mem.AllocSeq(c.nsc * c.nb); err != nil {
+		return nil, fmt.Errorf("pusch: combine hAvg: %w", err)
+	}
+	cores := m.Cfg.NumCores()
+	if c.parts, err = m.Mem.AllocSeq(cores); err != nil {
+		return nil, fmt.Errorf("pusch: combine partials: %w", err)
+	}
+	if c.sigma, err = m.Mem.AllocSeq(1); err != nil {
+		return nil, fmt.Errorf("pusch: combine sigma: %w", err)
+	}
+	c.cores = make([]int, cores)
+	for i := range c.cores {
+		c.cores[i] = i
+	}
+	perLane := (c.nsc + cores - 1) / cores * c.nb
+	for 1<<c.shift < perLane {
+		c.shift++
+	}
+	// The squared noise floor of a high-SNR link underflows Q1.15, so
+	// the stored word carries sigma^2 * 2^gain; Sigma undoes the gain
+	// and downstream regularization tolerates the scale (slight extra
+	// shrinkage at very high SNR, invisible at operating points).
+	c.gain = 8
+	if c.gain > c.shift {
+		c.gain = c.shift
+	}
+	return c, nil
+}
+
+// HAddr addresses the averaged channel estimate like chest.Plan.HAddr.
+func (c *combinePlan) HAddr(sc, b int) arch.Addr {
+	return c.hAvg + arch.Addr(sc*c.nb+b)
+}
+
+// SigmaAddr exposes the combined noise-variance word.
+func (c *combinePlan) SigmaAddr() arch.Addr { return c.sigma }
+
+// Sigma reads the noise variance as a float, removing the AGC gain.
+func (c *combinePlan) Sigma() float64 {
+	return fixed.Q15ToFloat(fixed.C15(c.m.Mem.Read(c.sigma)).Re()) / float64(int64(1)<<c.gain)
+}
+
+// Run executes the combine job.
+func (c *combinePlan) Run() error {
+	lanes := len(c.cores)
+	combineWork := func(p *engine.Proc) {
+		per := (c.nsc + lanes - 1) / lanes
+		lo := p.Lane * per
+		hi := min(lo+per, c.nsc)
+		var acc engine.A
+		for sc := lo; sc < hi; sc++ {
+			for b := 0; b < c.nb; b++ {
+				w1 := p.Load(c.h1.HAddr(sc, b))
+				w2 := p.Load(c.h2.HAddr(sc, b))
+				avg := p.CHalf(p.CAdd(w1, w2))
+				p.Store(c.HAddr(sc, b), avg)
+				d := p.CSub(w1, w2)
+				acc = p.MacAbs2(acc, d)
+				p.Tick(1)
+			}
+			p.Tick(1)
+		}
+		p.Store(c.parts+arch.Addr(p.Lane), p.Narrow(acc, c.shift-c.gain))
+	}
+	reduceWork := func(p *engine.Proc) {
+		if p.Lane != 0 {
+			return
+		}
+		one := p.Imm(fixed.Pack(fixed.MaxQ15, 0))
+		var acc engine.A
+		for l := 0; l < lanes; l++ {
+			w := p.Load(c.parts + arch.Addr(l))
+			acc = p.Mac(acc, w, one)
+			p.Tick(1)
+		}
+		var shift uint
+		for 1<<shift < lanes {
+			shift++
+		}
+		// Divide by two: E|h1-h2|^2 = 2 sigma_h^2.
+		sigma := p.CHalf(p.Narrow(acc, shift))
+		p.Store(c.sigma, sigma)
+	}
+	return c.m.Run(engine.Job{
+		Name:  "ne-combine",
+		Cores: c.cores,
+		Phases: []engine.Phase{
+			{Name: "combine", Kernel: "ne/combine", Lines: 8, Work: combineWork},
+			{Name: "reduce", Kernel: "ne/reduce", Lines: 4, Work: reduceWork},
+		},
+	})
+}

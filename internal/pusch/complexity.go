@@ -1,0 +1,142 @@
+// Package pusch ties the kernels into the PUSCH lower-PHY receive chain
+// of the paper: the complexity model of Section II (Table I, Fig. 3),
+// the end-to-end functional chain (FFT -> beamforming -> channel and
+// noise estimation -> MIMO detection) running on the cluster simulator,
+// and the Fig. 9c use-case runner.
+package pusch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dims captures the air-interface dimensions of one PUSCH allocation.
+type Dims struct {
+	NSC    int // allocated subcarriers (3276 for 100 MHz at 30 kHz SCS)
+	NSymb  int // OFDM symbols per slot (14)
+	NPilot int // pilot symbols per slot (2, block-type arrangement)
+	NR     int // receive antennas (64)
+	NB     int // beams (32)
+	NL     int // UEs transmitting on the same resources
+}
+
+// UseCaseDims returns the paper's Section II reference configuration.
+func UseCaseDims(nl int) Dims {
+	return Dims{NSC: 3276, NSymb: 14, NPilot: 2, NR: 64, NB: 32, NL: nl}
+}
+
+// Validate checks the dimensions are physically meaningful.
+func (d Dims) Validate() error {
+	switch {
+	case d.NSC <= 0 || d.NSymb <= 0 || d.NR <= 0 || d.NB <= 0 || d.NL <= 0:
+		return fmt.Errorf("pusch: dimensions must be positive: %+v", d)
+	case d.NPilot < 0 || d.NPilot >= d.NSymb:
+		return fmt.Errorf("pusch: %d pilot symbols out of %d total", d.NPilot, d.NSymb)
+	}
+	return nil
+}
+
+// Stage identifies one step of the receive chain.
+type Stage string
+
+// Chain stages in processing order (Fig. 1 of the paper).
+const (
+	StageOFDM Stage = "OFDM demodulation (FFT)"
+	StageBF   Stage = "Beamforming (MMM)"
+	StageCHE  Stage = "Channel estimation (element-wise division)"
+	StageNE   Stage = "Noise estimation (autocorrelation)"
+	StageMIMO Stage = "MIMO detection (Cholesky + triangular solves)"
+)
+
+// Stages lists the chain in order.
+var Stages = []Stage{StageOFDM, StageBF, StageCHE, StageNE, StageMIMO}
+
+// MACs returns the complex multiply-accumulate counts of Table I for one
+// slot.
+func (d Dims) MACs() map[Stage]float64 {
+	data := float64(d.NSymb - d.NPilot)
+	nsc := float64(d.NSC)
+	return map[Stage]float64{
+		StageOFDM: float64(d.NSymb) * float64(d.NR) * nsc * math.Log2(nsc),
+		StageBF:   float64(d.NSymb) * nsc * float64(d.NR) * float64(d.NB),
+		StageCHE:  float64(d.NPilot) * nsc * float64(d.NB) * float64(d.NL),
+		StageNE:   float64(d.NPilot) * nsc * 2 * float64(d.NB) * float64(d.NL),
+		StageMIMO: data * nsc * (math.Pow(float64(d.NL), 3)/3 + 2*float64(d.NL)*float64(d.NL)),
+	}
+}
+
+// TotalMACs sums Table I over the stages.
+func (d Dims) TotalMACs() float64 {
+	var t float64
+	for _, v := range d.MACs() {
+		t += v
+	}
+	return t
+}
+
+// Shares returns each stage's fraction of the slot's total MACs: the
+// quantity Fig. 3 plots against the number of UEs.
+func (d Dims) Shares() map[Stage]float64 {
+	macs := d.MACs()
+	total := d.TotalMACs()
+	out := make(map[Stage]float64, len(macs))
+	for s, v := range macs {
+		out[s] = v / total
+	}
+	return out
+}
+
+// DominantStages returns the stages ordered by descending MAC count.
+// Amdahl's-law reading of Fig. 3: the top entries (OFDM, BF and, as NL
+// grows, MIMO) are the kernels worth parallelizing.
+func (d Dims) DominantStages() []Stage {
+	macs := d.MACs()
+	out := append([]Stage(nil), Stages...)
+	sort.SliceStable(out, func(i, j int) bool { return macs[out[i]] > macs[out[j]] })
+	return out
+}
+
+// TableI renders the Table I rows (kernel, formula, MACs for these dims).
+func (d Dims) TableI() string {
+	macs := d.MACs()
+	rows := []struct {
+		stage   Stage
+		kernel  string
+		formula string
+	}{
+		{StageOFDM, "Fast Fourier transform", "Nsymb*NR*NSC*log2(NSC)"},
+		{StageBF, "Matrix-matrix multiplication", "Nsymb*NSC*NR*NB"},
+		{StageMIMO, "Cholesky decomposition + solves", "Ndata*NSC*(NL^3/3 + 2*NL^2)"},
+		{StageCHE, "Element-wise division", "Npilot*NSC*NB*NL"},
+		{StageNE, "Autocorrelation", "Npilot*NSC*2*NB*NL"},
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-46s %-32s %-30s %14s\n", "PUSCH stage", "Key kernel", "Complex MACs formula", "MACs")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-46s %-32s %-30s %14.3e\n", r.stage, r.kernel, r.formula, macs[r.stage])
+	}
+	fmt.Fprintf(&sb, "%-46s %-32s %-30s %14.3e\n", "Total", "", "", d.TotalMACs())
+	return sb.String()
+}
+
+// Fig3Table renders the per-stage MAC shares for a sweep of UE counts,
+// reproducing Fig. 3.
+func Fig3Table(nls []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-46s", "Stage \\ UEs")
+	for _, nl := range nls {
+		fmt.Fprintf(&sb, " %7d", nl)
+	}
+	sb.WriteByte('\n')
+	for _, st := range Stages {
+		fmt.Fprintf(&sb, "%-46s", st)
+		for _, nl := range nls {
+			sh := UseCaseDims(nl).Shares()
+			fmt.Fprintf(&sb, " %6.1f%%", sh[st]*100)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,317 @@
+// Package ref provides float64 golden-model implementations of every
+// signal-processing block in the PUSCH chain: naive DFT, radix-4 FFT,
+// complex matrix products, Hermitian Cholesky decomposition, triangular
+// solves, least-squares channel estimation, noise-variance estimation and
+// the MMSE MIMO equalizer.
+//
+// These are deliberately simple, allocation-friendly reference routines:
+// the fixed-point kernels (internal/phy, internal/kernels/...) are tested
+// against them with quantization-aware tolerances.
+package ref
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// DFT computes the N-point discrete Fourier transform of x by direct
+// O(N^2) evaluation: X[k] = sum_n x[n] * exp(-2*pi*i*n*k/N).
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for i := 0; i < n; i++ {
+			angle := -2 * math.Pi * float64(i) * float64(k) / float64(n)
+			acc += x[i] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// IsPowerOfFour reports whether n is a positive power of four, the sizes
+// the radix-4 FFT accepts.
+func IsPowerOfFour(n int) bool {
+	if n <= 0 || n&(n-1) != 0 {
+		return false
+	}
+	// Power of two: power of four iff the single set bit is at an even position.
+	return n&0x55555555 != 0
+}
+
+// DigitReverse4 reverses the base-4 digits of i within n = 4^s points.
+// It is an involution: DigitReverse4(DigitReverse4(i, n), n) == i.
+func DigitReverse4(i, n int) int {
+	r := 0
+	for n > 1 {
+		r = r<<2 | i&3
+		i >>= 2
+		n >>= 2
+	}
+	return r
+}
+
+// FFTRadix4 computes the N-point DFT (N a power of four) with the
+// decimation-in-frequency radix-4 Cooley-Tukey recursion the kernels use,
+// including the final digit-reversal reordering so the output is in
+// natural order. The input is not modified.
+func FFTRadix4(x []complex128) []complex128 {
+	n := len(x)
+	if !IsPowerOfFour(n) {
+		panic(fmt.Sprintf("ref: FFTRadix4 size %d is not a power of 4", n))
+	}
+	work := make([]complex128, n)
+	copy(work, x)
+	// DIF stages: distance shrinks 4x per stage.
+	for d := n / 4; d >= 1; d /= 4 {
+		span := 4 * d
+		for base := 0; base < n; base += span {
+			for r := 0; r < d; r++ {
+				i0 := base + r
+				a, b, c, e := work[i0], work[i0+d], work[i0+2*d], work[i0+3*d]
+				t0 := a + c
+				t1 := a - c
+				t2 := b + e
+				t3 := (b - e) * complex(0, -1)
+				// Twiddle exponent step for this stage: n/span.
+				step := n / span
+				w1 := twiddle(n, 1*r*step)
+				w2 := twiddle(n, 2*r*step)
+				w3 := twiddle(n, 3*r*step)
+				work[i0] = t0 + t2
+				work[i0+d] = (t1 + t3) * w1
+				work[i0+2*d] = (t0 - t2) * w2
+				work[i0+3*d] = (t1 - t3) * w3
+			}
+		}
+	}
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[DigitReverse4(i, n)] = work[i]
+	}
+	return out
+}
+
+// IFFTRadix4 computes the inverse transform (including the 1/N scale) via
+// the conjugation identity, so it shares the forward code path.
+func IFFTRadix4(x []complex128) []complex128 {
+	n := len(x)
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	fwd := FFTRadix4(conj)
+	out := make([]complex128, n)
+	for i, v := range fwd {
+		out[i] = cmplx.Conj(v) / complex(float64(n), 0)
+	}
+	return out
+}
+
+func twiddle(n, k int) complex128 {
+	angle := -2 * math.Pi * float64(k) / float64(n)
+	return cmplx.Exp(complex(0, angle))
+}
+
+// Mat is a dense row-major complex matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewMat allocates a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set stores element (i, j).
+func (m *Mat) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// MatMul returns a*b. It panics on shape mismatch (a programming error).
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("ref: MatMul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Hermitian returns the conjugate transpose of m.
+func Hermitian(m *Mat) *Mat {
+	out := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// Gramian returns h^H * h + sigma2 * I, the matrix the MIMO stage
+// decomposes.
+func Gramian(h *Mat, sigma2 float64) *Mat {
+	g := MatMul(Hermitian(h), h)
+	for i := 0; i < g.Rows; i++ {
+		g.Data[i*g.Cols+i] += complex(sigma2, 0)
+	}
+	return g
+}
+
+// Cholesky decomposes the Hermitian positive-definite matrix g into the
+// lower-triangular l with real positive diagonal such that l*l^H = g,
+// using the Cholesky-Crout column ordering the parallel kernel mirrors.
+// It returns an error if g is not positive definite.
+func Cholesky(g *Mat) (*Mat, error) {
+	if g.Rows != g.Cols {
+		panic(fmt.Sprintf("ref: Cholesky on non-square %dx%d", g.Rows, g.Cols))
+	}
+	n := g.Rows
+	l := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		// Diagonal.
+		sum := real(g.At(j, j))
+		for k := 0; k < j; k++ {
+			sum -= real(l.At(j, k) * cmplx.Conj(l.At(j, k)))
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("ref: Cholesky: matrix not positive definite at column %d (pivot %g)", j, sum)
+		}
+		d := math.Sqrt(sum)
+		l.Set(j, j, complex(d, 0))
+		// Column below the diagonal.
+		for i := j + 1; i < n; i++ {
+			acc := g.At(i, j)
+			for k := 0; k < j; k++ {
+				acc -= l.At(i, k) * cmplx.Conj(l.At(j, k))
+			}
+			l.Set(i, j, acc/complex(d, 0))
+		}
+	}
+	return l, nil
+}
+
+// ForwardSub solves l*y = b for lower-triangular l.
+func ForwardSub(l *Mat, b []complex128) []complex128 {
+	n := l.Rows
+	y := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		acc := b[i]
+		for k := 0; k < i; k++ {
+			acc -= l.At(i, k) * y[k]
+		}
+		y[i] = acc / l.At(i, i)
+	}
+	return y
+}
+
+// BackSubHermitian solves l^H * x = y for lower-triangular l (so l^H is
+// upper-triangular).
+func BackSubHermitian(l *Mat, y []complex128) []complex128 {
+	n := l.Rows
+	x := make([]complex128, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for k := i + 1; k < n; k++ {
+			acc -= cmplx.Conj(l.At(k, i)) * x[k]
+		}
+		x[i] = acc / cmplx.Conj(l.At(i, i))
+	}
+	return x
+}
+
+// MatVec returns m*v.
+func MatVec(m *Mat, v []complex128) []complex128 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("ref: MatVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var acc complex128
+		for j := 0; j < m.Cols; j++ {
+			acc += m.At(i, j) * v[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// MMSEEqualize recovers the transmitted vector from y = h*x + n as
+// x = (h^H h + sigma2 I)^-1 h^H y, evaluated through Cholesky plus two
+// triangular solves exactly as the MIMO stage does.
+func MMSEEqualize(h *Mat, y []complex128, sigma2 float64) ([]complex128, error) {
+	g := Gramian(h, sigma2)
+	l, err := Cholesky(g)
+	if err != nil {
+		return nil, err
+	}
+	z := MatVec(Hermitian(h), y)
+	return BackSubHermitian(l, ForwardSub(l, z)), nil
+}
+
+// LSEstimate performs the element-wise least-squares channel estimate
+// h_hat[b][l] = y[b] / pilot[l] for one subcarrier: the CHE stage of the
+// chain. pilotOwner selects which UE's pilot occupies this subcarrier.
+func LSEstimate(y []complex128, pilot complex128) []complex128 {
+	out := make([]complex128, len(y))
+	for b := range y {
+		out[b] = y[b] / pilot
+	}
+	return out
+}
+
+// NoiseVariance estimates sigma^2 as the mean squared residual between
+// the received pilot observations and their reconstruction h_hat*x_pilot,
+// the NE autocorrelation stage.
+func NoiseVariance(residuals []complex128) float64 {
+	if len(residuals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range residuals {
+		sum += real(r)*real(r) + imag(r)*imag(r)
+	}
+	return sum / float64(len(residuals))
+}
+
+// MaxAbsDiff returns the largest |a[i]-b[i]| between two equal-length
+// vectors; test helpers use it for tolerance checks.
+func MaxAbsDiff(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic("ref: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RMS returns the root-mean-square magnitude of v.
+func RMS(v []complex128) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(sum / float64(len(v)))
+}

@@ -1,0 +1,312 @@
+package ref
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+func randMat(rng *rand.Rand, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return m
+}
+
+func TestIsPowerOfFour(t *testing.T) {
+	yes := []int{1, 4, 16, 64, 256, 1024, 4096}
+	no := []int{0, -4, 2, 8, 32, 128, 512, 2048, 3, 5, 12}
+	for _, n := range yes {
+		if !IsPowerOfFour(n) {
+			t.Errorf("IsPowerOfFour(%d) = false, want true", n)
+		}
+	}
+	for _, n := range no {
+		if IsPowerOfFour(n) {
+			t.Errorf("IsPowerOfFour(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestDigitReverse4Involution(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256, 1024, 4096} {
+		for i := 0; i < n; i++ {
+			r := DigitReverse4(i, n)
+			if r < 0 || r >= n {
+				t.Fatalf("DigitReverse4(%d,%d) = %d out of range", i, n, r)
+			}
+			if DigitReverse4(r, n) != i {
+				t.Fatalf("DigitReverse4 not an involution at i=%d n=%d", i, n)
+			}
+		}
+	}
+}
+
+func TestDigitReverse4Known(t *testing.T) {
+	// n=16: i = 4*a+b reverses to 4*b+a.
+	cases := map[int]int{0: 0, 1: 4, 2: 8, 3: 12, 4: 1, 5: 5, 6: 9, 7: 13, 15: 15}
+	for i, want := range cases {
+		if got := DigitReverse4(i, 16); got != want {
+			t.Errorf("DigitReverse4(%d,16) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for _, n := range []int{4, 16, 64, 256} {
+		x := randVec(rng, n)
+		want := DFT(x)
+		got := FFTRadix4(x)
+		if d := MaxAbsDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: FFT vs DFT max diff %g", n, d)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// delta at 0 transforms to all ones.
+	n := 64
+	x := make([]complex128, n)
+	x[0] = 1
+	got := FFTRadix4(x)
+	for k, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	f := func(scaleRe, scaleIm float64) bool {
+		a := complex(math.Mod(scaleRe, 2), math.Mod(scaleIm, 2))
+		x := randVec(rng, 64)
+		y := randVec(rng, 64)
+		sum := make([]complex128, 64)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		fx, fy, fs := FFTRadix4(x), FFTRadix4(y), FFTRadix4(sum)
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(a*fx[i]+fy[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	x := randVec(rng, 256)
+	y := FFTRadix4(x)
+	ex := RMS(x) * RMS(x) * 256
+	ey := RMS(y) * RMS(y) * 256 / 256 // spectrum energy is N times signal energy
+	if math.Abs(ex-ey)/ex > 1e-10 {
+		t.Errorf("Parseval violated: time %g vs freq %g", ex, ey)
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	for _, n := range []int{16, 256, 1024} {
+		x := randVec(rng, n)
+		got := IFFTRadix4(FFTRadix4(x))
+		if d := MaxAbsDiff(got, x); d > 1e-9 {
+			t.Errorf("n=%d: IFFT(FFT(x)) differs from x by %g", n, d)
+		}
+	}
+}
+
+func TestFFTPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FFTRadix4 accepted a non-power-of-4 size")
+		}
+	}()
+	FFTRadix4(make([]complex128, 8))
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	a := randMat(rng, 5, 7)
+	id := NewMat(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	got := MatMul(a, id)
+	if MaxAbsDiff(got.Data, a.Data) > 1e-15 {
+		t.Error("A*I != A")
+	}
+}
+
+func TestMatMulAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	a, b := randMat(rng, 3, 4), randMat(rng, 4, 5)
+	got := MatMul(a, b)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			var want complex128
+			for k := 0; k < 4; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if cmplx.Abs(got.At(i, j)-want) > 1e-12 {
+				t.Fatalf("MatMul (%d,%d) = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestHermitianInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	m := randMat(rng, 4, 6)
+	hh := Hermitian(Hermitian(m))
+	if MaxAbsDiff(hh.Data, m.Data) > 0 {
+		t.Error("Hermitian(Hermitian(m)) != m")
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 11))
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		h := randMat(rng, n+4, n)
+		g := Gramian(h, 0.1)
+		l, err := Cholesky(g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back := MatMul(l, Hermitian(l))
+		if d := MaxAbsDiff(back.Data, g.Data); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: L*L^H differs from G by %g", n, d)
+		}
+		// Lower-triangular with real positive diagonal.
+		for i := 0; i < n; i++ {
+			if imag(l.At(i, i)) != 0 || real(l.At(i, i)) <= 0 {
+				t.Errorf("n=%d: diagonal %d = %v not real positive", n, i, l.At(i, i))
+			}
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Errorf("n=%d: upper element (%d,%d) = %v, want 0", n, i, j, l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	g := NewMat(2, 2)
+	g.Set(0, 0, -1)
+	g.Set(1, 1, 1)
+	if _, err := Cholesky(g); err == nil {
+		t.Error("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 13))
+	n := 8
+	h := randMat(rng, n+2, n)
+	g := Gramian(h, 0.05)
+	l, err := Cholesky(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randVec(rng, n)
+	y := ForwardSub(l, b)
+	// Check l*y == b.
+	ly := MatVec(l, y)
+	if d := MaxAbsDiff(ly, b); d > 1e-10 {
+		t.Errorf("ForwardSub residual %g", d)
+	}
+	x := BackSubHermitian(l, y)
+	lhx := MatVec(Hermitian(l), x)
+	if d := MaxAbsDiff(lhx, y); d > 1e-10 {
+		t.Errorf("BackSubHermitian residual %g", d)
+	}
+}
+
+func TestMMSERecoversCleanSignal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 15))
+	nb, nl := 8, 4
+	h := randMat(rng, nb, nl)
+	x := randVec(rng, nl)
+	y := MatVec(h, x)
+	got, err := MMSEEqualize(h, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, x); d > 1e-6 {
+		t.Errorf("noise-free MMSE differs from x by %g", d)
+	}
+}
+
+func TestMMSEShrinksWithNoise(t *testing.T) {
+	// With large sigma2 the estimate must shrink toward zero (regularized).
+	rng := rand.New(rand.NewPCG(16, 17))
+	nb, nl := 8, 4
+	h := randMat(rng, nb, nl)
+	x := randVec(rng, nl)
+	y := MatVec(h, x)
+	small, err := MMSEEqualize(h, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MMSEEqualize(h, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RMS(big) >= RMS(small) {
+		t.Errorf("RMS with heavy regularization (%g) not smaller than light (%g)", RMS(big), RMS(small))
+	}
+}
+
+func TestLSEstimate(t *testing.T) {
+	y := []complex128{2, complex(0, 2)}
+	pilot := complex(0, 1)
+	got := LSEstimate(y, pilot)
+	want := []complex128{complex(0, -2), 2}
+	if MaxAbsDiff(got, want) > 1e-15 {
+		t.Errorf("LSEstimate = %v, want %v", got, want)
+	}
+}
+
+func TestNoiseVariance(t *testing.T) {
+	if got := NoiseVariance(nil); got != 0 {
+		t.Errorf("NoiseVariance(nil) = %g", got)
+	}
+	res := []complex128{complex(1, 0), complex(0, 1), complex(-1, 0), complex(0, -1)}
+	if got := NoiseVariance(res); math.Abs(got-1) > 1e-15 {
+		t.Errorf("NoiseVariance = %g, want 1", got)
+	}
+}
+
+func TestGramianHermitianPD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(18, 19))
+	h := randMat(rng, 6, 4)
+	g := Gramian(h, 0.2)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if cmplx.Abs(g.At(i, j)-cmplx.Conj(g.At(j, i))) > 1e-12 {
+				t.Fatalf("Gramian not Hermitian at (%d,%d)", i, j)
+			}
+		}
+		if real(g.At(i, i)) <= 0 {
+			t.Fatalf("Gramian diagonal %d not positive", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package tcdm models the cluster's tightly-coupled data memory: the
+// word-addressed banked storage, arena allocators for the two layout
+// families the kernels use (sequential-interleaved and tile-local), and
+// per-bank cycle-reservation tables that resolve bank contention.
+//
+// Each bank serves one access per cycle. The engine replays the cores in
+// core-ID order, so reservation implements a fixed-priority arbiter:
+// core i never waits for core j > i. Under the paper's conflict-free data
+// placements this coincides with MemPool's round-robin arbiter (see
+// DESIGN.md, Section 2).
+package tcdm
+
+import "math/bits"
+
+// pageBits is log2 of the cycles covered by one reservation page.
+const pageBits = 12 // 4096 cycles per page
+
+const pageWords = 1 << (pageBits - 6) // uint64 words per page
+
+type page [pageWords]uint64
+
+// bankRes tracks the busy cycles of one bank as a paged bitmap.
+type bankRes struct {
+	pages map[int64]*page
+	// Single-entry cache of the most recently touched page: accesses to
+	// a bank cluster in time, so this hits nearly always.
+	lastIdx  int64
+	lastPage *page
+}
+
+// Reservation resolves bank contention for a whole cluster.
+type Reservation struct {
+	banks     []bankRes
+	conflicts int64 // total cycles of delay handed out
+	accesses  int64
+}
+
+// NewReservation creates tables for nBanks banks.
+func NewReservation(nBanks int) *Reservation {
+	r := &Reservation{banks: make([]bankRes, nBanks)}
+	for i := range r.banks {
+		r.banks[i].pages = make(map[int64]*page)
+		r.banks[i].lastIdx = -1
+	}
+	return r
+}
+
+func (b *bankRes) pageFor(idx int64, alloc bool) *page {
+	if b.lastIdx == idx {
+		return b.lastPage
+	}
+	p := b.pages[idx]
+	if p == nil && alloc {
+		p = new(page)
+		b.pages[idx] = p
+	}
+	if p != nil {
+		b.lastIdx, b.lastPage = idx, p
+	}
+	return p
+}
+
+// Acquire books the first free service cycle >= t on the given bank and
+// returns it. The difference between the returned cycle and t is the
+// conflict delay suffered by this access.
+func (r *Reservation) Acquire(bank int, t int64) int64 {
+	if t < 0 {
+		t = 0
+	}
+	b := &r.banks[bank]
+	r.accesses++
+	for {
+		idx := t >> pageBits
+		p := b.pageFor(idx, true)
+		off := t & (1<<pageBits - 1)
+		w := off >> 6
+		bit := uint(off & 63)
+		// Scan the current page word by word for a free bit.
+		for w < pageWords {
+			free := ^p[w] >> bit << bit // mask off bits below the start position
+			if free != 0 {
+				pos := int64(bits.TrailingZeros64(free))
+				p[w] |= 1 << uint(pos)
+				slot := idx<<pageBits | w<<6 | pos
+				r.conflicts += slot - t
+				return slot
+			}
+			w++
+			bit = 0
+		}
+		// Page exhausted: continue at the start of the next page.
+		t = (idx + 1) << pageBits
+	}
+}
+
+// Busy reports whether cycle t is already booked on bank (test helper).
+func (r *Reservation) Busy(bank int, t int64) bool {
+	b := &r.banks[bank]
+	p := b.pageFor(t>>pageBits, false)
+	if p == nil {
+		return false
+	}
+	off := t & (1<<pageBits - 1)
+	return p[off>>6]&(1<<uint(off&63)) != 0
+}
+
+// Retire drops all reservation pages that end strictly before cycle t.
+// The engine calls it at cluster-wide barriers to bound memory use.
+func (r *Reservation) Retire(t int64) {
+	cutoff := t >> pageBits // pages with idx < cutoff end before t
+	for i := range r.banks {
+		b := &r.banks[i]
+		for idx := range b.pages {
+			if idx < cutoff {
+				delete(b.pages, idx)
+				if b.lastIdx == idx {
+					b.lastIdx, b.lastPage = -1, nil
+				}
+			}
+		}
+	}
+}
+
+// ConflictCycles returns the total delay (in bank-cycles) attributed to
+// contention since creation.
+func (r *Reservation) ConflictCycles() int64 { return r.conflicts }
+
+// Accesses returns the total number of bank accesses booked.
+func (r *Reservation) Accesses() int64 { return r.accesses }

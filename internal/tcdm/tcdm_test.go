@@ -1,0 +1,222 @@
+package tcdm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestReservationFirstComeFirstServed(t *testing.T) {
+	r := NewReservation(4)
+	if got := r.Acquire(0, 10); got != 10 {
+		t.Fatalf("first acquire = %d, want 10", got)
+	}
+	if got := r.Acquire(0, 10); got != 11 {
+		t.Fatalf("conflicting acquire = %d, want 11", got)
+	}
+	if got := r.Acquire(0, 10); got != 12 {
+		t.Fatalf("third acquire = %d, want 12", got)
+	}
+	// A different bank is unaffected.
+	if got := r.Acquire(1, 10); got != 10 {
+		t.Fatalf("other bank acquire = %d, want 10", got)
+	}
+	if r.ConflictCycles() != 3 { // 1 + 2 cycles of delay
+		t.Errorf("ConflictCycles = %d, want 3", r.ConflictCycles())
+	}
+	if r.Accesses() != 4 {
+		t.Errorf("Accesses = %d, want 4", r.Accesses())
+	}
+}
+
+func TestReservationCrossesPageBoundary(t *testing.T) {
+	r := NewReservation(1)
+	// Fill the tail of page 0 and verify the next slot lands in page 1.
+	last := int64(1<<pageBits - 1)
+	for i := int64(0); i < 4; i++ {
+		r.Acquire(0, last-3+i)
+	}
+	if got := r.Acquire(0, last); got != 1<<pageBits {
+		t.Fatalf("boundary acquire = %d, want %d", got, int64(1)<<pageBits)
+	}
+}
+
+func TestReservationMonotone(t *testing.T) {
+	// Property: Acquire never returns a slot before the requested time,
+	// and never double-books a (bank, cycle) pair.
+	r := NewReservation(8)
+	booked := make(map[[2]int64]bool)
+	rng := rand.New(rand.NewPCG(42, 43))
+	for i := 0; i < 20000; i++ {
+		bank := rng.IntN(8)
+		at := int64(rng.IntN(5000))
+		slot := r.Acquire(bank, at)
+		if slot < at {
+			t.Fatalf("slot %d before request %d", slot, at)
+		}
+		key := [2]int64{int64(bank), slot}
+		if booked[key] {
+			t.Fatalf("double booking of bank %d cycle %d", bank, slot)
+		}
+		booked[key] = true
+	}
+}
+
+func TestReservationBusyAndRetire(t *testing.T) {
+	r := NewReservation(2)
+	slot := r.Acquire(1, 100)
+	if !r.Busy(1, slot) {
+		t.Error("acquired slot not busy")
+	}
+	if r.Busy(1, slot+1) {
+		t.Error("unacquired slot busy")
+	}
+	r.Retire(1 << (pageBits + 1)) // drop page 0
+	if r.Busy(1, slot) {
+		t.Error("retired slot still busy")
+	}
+	// After retirement, the cycle can be booked again.
+	if got := r.Acquire(1, 100); got != 100 {
+		t.Errorf("post-retire acquire = %d, want 100", got)
+	}
+}
+
+func TestMemReadWrite(t *testing.T) {
+	m := NewMem(arch.MemPool())
+	f := func(raw uint32, v uint32) bool {
+		a := arch.Addr(raw % uint32(m.Cfg.MemWords()))
+		m.Write(a, v)
+		return m.Read(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocSeqDisjoint(t *testing.T) {
+	m := NewMem(arch.MemPool())
+	a, err := m.AllocSeq(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AllocSeq(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+1000 {
+		t.Errorf("allocations overlap: a=%d (+1000), b=%d", a, b)
+	}
+}
+
+func TestAllocSeqOOM(t *testing.T) {
+	m := NewMem(arch.MemPool())
+	if _, err := m.AllocSeq(m.Cfg.MemWords() + 1); err == nil {
+		t.Error("AllocSeq accepted more than the whole memory")
+	}
+	if _, err := m.AllocSeq(m.Cfg.MemWords()); err != nil {
+		t.Errorf("AllocSeq rejected exactly-full allocation: %v", err)
+	}
+	if _, err := m.AllocSeq(1); err == nil {
+		t.Error("AllocSeq accepted allocation past the end")
+	}
+}
+
+func TestAllocTileLocalPlacement(t *testing.T) {
+	m := NewMem(arch.TeraPool())
+	tile := 17
+	blk, err := m.AllocTileLocal(tile, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Words() != 4*m.Cfg.BanksPerTile() {
+		t.Errorf("block words = %d", blk.Words())
+	}
+	seen := make(map[arch.Addr]bool)
+	for i := 0; i < blk.Words(); i++ {
+		a := blk.WordAddr(i)
+		if seen[a] {
+			t.Fatalf("WordAddr duplicates address %d", a)
+		}
+		seen[a] = true
+		if m.Cfg.TileOf(a) != tile {
+			t.Fatalf("word %d lands in tile %d, want %d", i, m.Cfg.TileOf(a), tile)
+		}
+	}
+	// Consecutive indices hit distinct banks.
+	b0 := m.Cfg.BankOf(blk.WordAddr(0))
+	b1 := m.Cfg.BankOf(blk.WordAddr(1))
+	if b0 == b1 {
+		t.Error("consecutive block words share a bank")
+	}
+}
+
+func TestAllocTileLocalStacks(t *testing.T) {
+	m := NewMem(arch.MemPool())
+	blk1, err := m.AllocTileLocal(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk2, err := m.AllocTileLocal(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk2.Row0+blk2.Rows != blk1.Row0 {
+		t.Errorf("blocks not stacked: blk1 rows [%d,%d), blk2 rows [%d,%d)", blk1.Row0, blk1.Row0+blk1.Rows, blk2.Row0, blk2.Row0+blk2.Rows)
+	}
+}
+
+func TestArenaCollisionDetected(t *testing.T) {
+	m := NewMem(arch.MemPool())
+	// Fill almost everything sequentially, then a tile-local alloc that
+	// cannot fit must fail.
+	if _, err := m.AllocSeq(m.Cfg.MemWords() - m.Cfg.NumBanks()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocTileLocal(0, 2); err == nil {
+		t.Error("tile-local allocation into the sequential arena not rejected")
+	}
+	if _, err := m.AllocTileLocal(0, 1); err != nil {
+		t.Errorf("tile-local allocation in the last free row rejected: %v", err)
+	}
+	// And the mirror image: tile-local first, sequential collision after.
+	m.Reset()
+	if _, err := m.AllocTileLocal(5, m.Cfg.BankWords); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocSeq(1); err == nil {
+		t.Error("sequential allocation into a full tile-local arena not rejected")
+	}
+}
+
+func TestResetRestoresCapacity(t *testing.T) {
+	m := NewMem(arch.MemPool())
+	total := m.FreeWords()
+	if _, err := m.AllocSeq(1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocTileLocal(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeWords() >= total {
+		t.Error("FreeWords did not shrink after allocations")
+	}
+	m.Reset()
+	if m.FreeWords() != total {
+		t.Errorf("FreeWords after Reset = %d, want %d", m.FreeWords(), total)
+	}
+}
+
+func TestAllocRejectsNegative(t *testing.T) {
+	m := NewMem(arch.MemPool())
+	if _, err := m.AllocSeq(-1); err == nil {
+		t.Error("AllocSeq(-1) accepted")
+	}
+	if _, err := m.AllocTileLocal(0, -1); err == nil {
+		t.Error("AllocTileLocal(-1) accepted")
+	}
+	if _, err := m.AllocTileLocal(-1, 1); err == nil {
+		t.Error("AllocTileLocal on negative tile accepted")
+	}
+}

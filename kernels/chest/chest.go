@@ -1,0 +1,18 @@
+// Package chest re-exports the channel/noise estimation kernels (the CHE
+// element-wise division and NE autocorrelation stages).
+package chest
+
+import (
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/kernels/chest"
+)
+
+// Plan is one pilot-symbol estimation pass.
+type Plan = chest.Plan
+
+// NewPlan allocates the estimation pass; yExternal optionally reuses the
+// beamforming output buffer.
+func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, yExternal *arch.Addr) (*Plan, error) {
+	return chest.NewPlan(m, nsc, nb, nl, coreCount, yExternal)
+}

@@ -1,0 +1,19 @@
+package chest_test
+
+import (
+	"testing"
+
+	"repro/kernels/chest"
+	"repro/sim"
+)
+
+func TestPublicChest(t *testing.T) {
+	m := sim.NewMachine(sim.MemPool())
+	pl, err := chest.NewPlan(m, 64, 4, 4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.SigmaAddr() == 0 {
+		t.Error("sigma address unset")
+	}
+}

@@ -1,0 +1,33 @@
+// Package chol re-exports the Cholesky decomposition kernels
+// (Section V-C of the paper): mirrored fine-grained pairs, the
+// replicated small-matrix mode, and the serial baseline.
+package chol
+
+import (
+	"repro/internal/engine"
+	"repro/internal/kernels/chol"
+)
+
+type (
+	// PairPlan runs mirrored fine-grained decompositions.
+	PairPlan = chol.PairPlan
+	// ReplicatedPlan runs whole small decompositions on every core.
+	ReplicatedPlan = chol.ReplicatedPlan
+	// SerialPlan is the single-core baseline.
+	SerialPlan = chol.SerialPlan
+)
+
+// NewPairPlan allocates pairs mirrored decompositions of size n.
+func NewPairPlan(m *engine.Machine, n, pairs int) (*PairPlan, error) {
+	return chol.NewPairPlan(m, n, pairs)
+}
+
+// NewReplicatedPlan allocates per-core repeated decompositions.
+func NewReplicatedPlan(m *engine.Machine, n, coreCount, rounds, perRound int) (*ReplicatedPlan, error) {
+	return chol.NewReplicatedPlan(m, n, coreCount, rounds, perRound)
+}
+
+// NewSerialPlan allocates count serial decompositions of size n.
+func NewSerialPlan(m *engine.Machine, core, n, count int) (*SerialPlan, error) {
+	return chol.NewSerialPlan(m, core, n, count)
+}

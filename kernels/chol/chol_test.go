@@ -1,0 +1,23 @@
+package chol_test
+
+import (
+	"testing"
+
+	"repro/kernels/chol"
+	"repro/sim"
+)
+
+func TestPublicChol(t *testing.T) {
+	m := sim.NewMachine(sim.MemPool())
+	if _, err := chol.NewPairPlan(m, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := chol.NewReplicatedPlan(m, 4, 8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Pipelined = true // exported knob reachable through the alias
+	if _, err := chol.NewSerialPlan(m, 0, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}

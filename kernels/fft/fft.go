@@ -1,0 +1,34 @@
+// Package fft re-exports the parallel radix-4 folded FFT kernel
+// (Section V-A of the paper).
+package fft
+
+import (
+	"repro/internal/engine"
+	"repro/internal/kernels/fft"
+)
+
+type (
+	// Plan schedules a set of independent FFTs on one machine.
+	Plan = fft.Plan
+	// SerialPlan is the single-core baseline.
+	SerialPlan = fft.SerialPlan
+	// Layout selects folded (optimized) or interleaved (ablation)
+	// placement.
+	Layout = fft.Layout
+)
+
+// Data placements.
+const (
+	Folded      = fft.Folded
+	Interleaved = fft.Interleaved
+)
+
+// NewPlan allocates count independent n-point FFTs, batch per lane set.
+func NewPlan(m *engine.Machine, n, count, batch int, lay Layout) (*Plan, error) {
+	return fft.NewPlan(m, n, count, batch, lay)
+}
+
+// NewSerialPlan allocates reps serial n-point FFTs on one core.
+func NewSerialPlan(m *engine.Machine, core, n, reps int) (*SerialPlan, error) {
+	return fft.NewSerialPlan(m, core, n, reps)
+}

@@ -1,0 +1,18 @@
+// Package mimo re-exports the per-subcarrier MIMO detection kernel
+// (Gramian, Cholesky, matched filter, triangular solves).
+package mimo
+
+import (
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/kernels/mimo"
+)
+
+// Plan is one data-symbol detection pass.
+type Plan = mimo.Plan
+
+// NewPlan allocates the detection pass over the channel estimates
+// addressed by hAddr and the noise word at sigmaAddr.
+func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, hAddr func(sc, b int) arch.Addr, sigmaAddr arch.Addr, yExternal *arch.Addr) (*Plan, error) {
+	return mimo.NewPlan(m, nsc, nb, nl, coreCount, hAddr, sigmaAddr, yExternal)
+}

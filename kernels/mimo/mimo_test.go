@@ -1,0 +1,18 @@
+package mimo_test
+
+import (
+	"testing"
+
+	"repro/kernels/mimo"
+	"repro/sim"
+)
+
+func TestPublicMIMO(t *testing.T) {
+	m := sim.NewMachine(sim.MemPool())
+	hAddr := func(sc, b int) sim.Addr { return 0 }
+	pl, err := mimo.NewPlan(m, 16, 4, 4, 4, hAddr, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Interp = true // exported knob reachable through the alias
+}

@@ -1,0 +1,22 @@
+package mmm_test
+
+import (
+	"testing"
+
+	"repro/kernels/mmm"
+	"repro/sim"
+)
+
+func TestPublicMMM(t *testing.T) {
+	m := sim.NewMachine(sim.MemPool())
+	pl, err := mmm.NewPlan(m, 8, 8, 8, 4, mmm.Options{Window: mmm.Win4x2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Opt.Window != mmm.Win4x2 {
+		t.Error("window option lost")
+	}
+	if mmm.Win4x4.Rows != 4 || mmm.Win2x2.Cols != 2 {
+		t.Error("window constants wrong")
+	}
+}

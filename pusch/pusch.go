@@ -1,0 +1,51 @@
+// Package pusch is the public entry point to the PUSCH lower-PHY
+// reproduction: the Table I / Fig. 3 complexity model, the end-to-end
+// functional receive chain on the cluster simulator, and the Fig. 9c
+// use-case runner.
+package pusch
+
+import "repro/internal/pusch"
+
+type (
+	// Dims captures a PUSCH allocation's air-interface dimensions.
+	Dims = pusch.Dims
+	// Stage identifies one chain step.
+	Stage = pusch.Stage
+	// ChainConfig parameterizes an end-to-end functional run.
+	ChainConfig = pusch.ChainConfig
+	// ChainResult reports link quality and per-stage timing.
+	ChainResult = pusch.ChainResult
+	// UseCaseConfig parameterizes the Fig. 9c experiment.
+	UseCaseConfig = pusch.UseCaseConfig
+	// UseCaseResult is the Fig. 9c cycle budget.
+	UseCaseResult = pusch.UseCaseResult
+	// KernelTiming is one kernel's share of the use-case budget.
+	KernelTiming = pusch.KernelTiming
+)
+
+// Chain stages in processing order.
+const (
+	StageOFDM = pusch.StageOFDM
+	StageBF   = pusch.StageBF
+	StageCHE  = pusch.StageCHE
+	StageNE   = pusch.StageNE
+	StageMIMO = pusch.StageMIMO
+)
+
+// Stages lists the chain in order.
+var Stages = pusch.Stages
+
+// UseCaseDims returns the paper's Section II reference dimensions.
+func UseCaseDims(nl int) Dims { return pusch.UseCaseDims(nl) }
+
+// Fig3Table renders stage MAC shares across UE counts (Fig. 3).
+func Fig3Table(nls []int) string { return pusch.Fig3Table(nls) }
+
+// RunChain executes the full functional receive chain.
+func RunChain(cfg ChainConfig) (*ChainResult, error) { return pusch.RunChain(cfg) }
+
+// RunUseCase executes the Fig. 9c slot-budget experiment.
+func RunUseCase(cfg UseCaseConfig) (*UseCaseResult, error) { return pusch.RunUseCase(cfg) }
+
+// DefaultUseCase returns the paper's TeraPool use-case configuration.
+func DefaultUseCase() UseCaseConfig { return pusch.DefaultUseCase() }

@@ -1,0 +1,34 @@
+package waveform_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/waveform"
+)
+
+func TestPublicWaveform(t *testing.T) {
+	bits := waveform.RandBits(rand.New(rand.NewPCG(1, 2)), 8)
+	syms, err := waveform.Modulate(waveform.QPSK, bits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waveform.BER(waveform.Demodulate(waveform.QPSK, syms, 1), bits); got != 0 {
+		t.Errorf("BER %g", got)
+	}
+	sym := waveform.OFDMModulate(make([]complex128, 64))
+	withCP, err := waveform.AddCyclicPrefix(sym, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := waveform.RemoveCyclicPrefix(withCP, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 64 {
+		t.Error("CP round trip length")
+	}
+	if waveform.GoldSequence(1, 8) == nil {
+		t.Error("no gold bits")
+	}
+}

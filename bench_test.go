@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	ipusch "repro/internal/pusch"
 	"repro/internal/waveform"
 )
@@ -160,6 +161,42 @@ func benchWindow(b *testing.B, idx int) {
 		last = r
 	}
 	reportKernel(b, last)
+}
+
+// BenchmarkCampaignSweep measures host-side campaign throughput: one
+// iteration runs an 8-point SNR sweep of the reduced functional slot
+// through the parallel Runner, so machine pooling (Machine.Reset instead
+// of per-scenario reallocation) and worker fan-out both land in the
+// bench trajectory as scenarios/sec.
+func BenchmarkCampaignSweep(b *testing.B) {
+	base := ipusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     256, NR: 16, NB: 8, NL: 4,
+		NSymb: 4, NPilot: 2,
+		Scheme: waveform.QPSK,
+	}
+	scenarios := campaign.SNRSweep(base, 8, 22, 2)
+	if len(scenarios) != 8 {
+		b.Fatalf("sweep has %d points, want 8", len(scenarios))
+	}
+	// A fixed worker count below the scenario count keeps the metric
+	// stable across machines and guarantees each worker runs several
+	// scenarios, exercising the Machine.Reset reuse path.
+	runner := &campaign.Runner{Workers: 2}
+	var results []campaign.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results = runner.Run(scenarios)
+	}
+	b.StopTimer()
+	for _, res := range results {
+		if res.Error != "" {
+			b.Fatalf("%s: %s", res.Scenario, res.Error)
+		}
+	}
+	secPerOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(len(scenarios))/secPerOp, "scenarios/sec")
+	b.ReportMetric(float64(results[0].TotalCycles), "cycles")
 }
 
 // Functional end-to-end slot: the chain at reduced scale with BER/EVM.

@@ -1,4 +1,4 @@
-// Command puschsim runs the two slot-level experiments of the paper:
+// Command puschsim runs the slot-level experiments of the paper:
 //
 //   - the Fig. 9c use case (default): the Section II reference slot
 //     (4096-point FFTs on 64 antennas, the 4096x64x32 beamforming MMM,
@@ -9,17 +9,28 @@
 //   - a functional end-to-end slot (-chain): UE transmitters, multipath
 //     channel and the full receive chain on the simulator, reporting BER
 //     and EVM (reduced dimensions, since the functional path keeps every
-//     intermediate buffer resident).
+//     intermediate buffer resident);
+//
+//   - a scenario campaign (-campaign): a whole family of configurations
+//     run concurrently on pooled simulator machines, one JSON line per
+//     scenario with BER, EVM, cycles and per-stage cycle shares.
+//     Campaigns are deterministic across runs and worker counts.
 //
 // Usage:
 //
 //	puschsim [-cluster terapool|mempool] [-chol-batch 4|16] [-serial] [-chain] [-snr dB]
+//	puschsim -campaign snr      [-snr-min 8] [-snr-max 26] [-snr-step 2] [-scheme qpsk] [-workers N]
+//	puschsim -campaign schemes  # modulation x UE-count grid
+//	puschsim -campaign clusters # cluster-size scaling sweep
+//	puschsim -campaign chol     # use-case Cholesky schedule sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"repro/pusch"
 	"repro/sim"
@@ -35,6 +46,13 @@ func main() {
 	fullMIMO := flag.Bool("full-mimo", false, "time the complete MIMO stage (Gramian+Cholesky+solves) instead of bare decompositions")
 	chain := flag.Bool("chain", false, "run the functional end-to-end chain instead of the Fig. 9c budget")
 	snr := flag.Float64("snr", 26, "chain mode: SNR in dB")
+	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters or chol")
+	snrMin := flag.Float64("snr-min", 8, "campaign snr: first SNR point in dB")
+	snrMax := flag.Float64("snr-max", 26, "campaign snr: last SNR point in dB")
+	snrStep := flag.Float64("snr-step", 2, "campaign snr: SNR increment in dB")
+	schemeFlag := flag.String("scheme", "qpsk", "campaign base modulation: qpsk, 16qam or 64qam")
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 1, "campaign base seed")
 	flag.Parse()
 
 	var cluster *sim.Config
@@ -45,6 +63,11 @@ func main() {
 		cluster = sim.MemPool()
 	default:
 		log.Fatalf("unknown cluster %q", *clusterFlag)
+	}
+
+	if *campaignFlag != "" {
+		runCampaign(cluster, *campaignFlag, *schemeFlag, *snrMin, *snrMax, *snrStep, *workers, *seed)
+		return
 	}
 
 	if *chain {
@@ -86,6 +109,68 @@ func main() {
 	if *withSerial {
 		fmt.Printf("  serial baseline %d cycles -> overall speedup %.0f (paper: 848 green / 871 red)\n",
 			res.SerialCycles, res.Speedup)
+	}
+}
+
+// campaignBase is the chain configuration campaigns sweep around: the
+// same reduced-dimension slot the -chain mode runs (the functional path
+// keeps every intermediate buffer resident, bounding NSC).
+func campaignBase(cluster *sim.Config, scheme waveform.Scheme) pusch.ChainConfig {
+	return pusch.ChainConfig{
+		Cluster: cluster,
+		NSC:     256, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: scheme,
+		SNRdB:  20, // operating point for grids that do not sweep SNR
+	}
+}
+
+func runCampaign(cluster *sim.Config, mode, schemeName string, snrMin, snrMax, snrStep float64, workers int, seed uint64) {
+	var scheme waveform.Scheme
+	switch strings.ToLower(schemeName) {
+	case "qpsk":
+		scheme = waveform.QPSK
+	case "16qam", "qam16":
+		scheme = waveform.QAM16
+	case "64qam", "qam64":
+		scheme = waveform.QAM64
+	default:
+		log.Fatalf("unknown scheme %q", schemeName)
+	}
+	base := campaignBase(cluster, scheme)
+
+	var scenarios []pusch.Scenario
+	switch mode {
+	case "snr":
+		scenarios = pusch.SNRSweep(base, snrMin, snrMax, snrStep)
+	case "schemes":
+		scenarios = pusch.SchemeGrid(base,
+			[]waveform.Scheme{waveform.QPSK, waveform.QAM16, waveform.QAM64},
+			[]int{1, 2, 4})
+	case "clusters":
+		// Scale the selected cluster's tile geometry from 1 to 8 groups
+		// (64..512 cores for MemPool, 128..1024 for TeraPool); the
+		// workload stays fixed.
+		scenarios = pusch.ClusterScaling(base, []int{1, 2, 4, 8})
+	case "chol":
+		uc := pusch.DefaultUseCase()
+		uc.Cluster = cluster
+		if cluster.Name == "MemPool" {
+			// Same capacity extension the default mode applies: the
+			// full-scale working set exceeds MemPool's physical 1 MiB.
+			uc.DeepBanks = 8
+		}
+		scenarios = pusch.CholScheduleSweep(uc, []int{1, 2, 4, 8, 16})
+	default:
+		log.Fatalf("unknown campaign %q (want snr, schemes, clusters or chol)", mode)
+	}
+
+	if len(scenarios) == 0 {
+		log.Fatalf("campaign %q is empty (check -snr-min/-snr-max/-snr-step)", mode)
+	}
+	runner := &pusch.Runner{Workers: workers, Seed: seed}
+	if err := pusch.WriteCampaignJSONL(os.Stdout, runner, scenarios); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -13,12 +13,16 @@
 //     channel and noise estimation, per-subcarrier MIMO detection), all
 //     bit-exact against serial fixed-point golden models;
 //   - pusch: the Table I / Fig. 3 complexity model, the end-to-end
-//     functional receive chain, and the Fig. 9c slot-budget experiment;
+//     functional receive chain (whole, or as its SlotTX / Pipeline /
+//     ScoreSlot stages), the Fig. 9c slot-budget experiment, and the
+//     campaign engine that sweeps scenario families in parallel on
+//     pooled simulator machines;
 //   - waveform, fixedpoint: the transmit/channel substrate and the
 //     packed Q1.15 arithmetic;
 //   - cmd/complexity, cmd/kernelbench, cmd/puschsim: binaries that
 //     regenerate every table and figure of the paper's evaluation.
 //
 // The benchmarks in bench_test.go wrap the same experiments as testing.B
-// benchmarks; see EXPERIMENTS.md for measured-versus-paper numbers.
+// benchmarks; see EXPERIMENTS.md for measured-versus-paper numbers and
+// README.md for the quickstart and the campaign-mode walkthrough.
 package repro

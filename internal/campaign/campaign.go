@@ -1,0 +1,157 @@
+// Package campaign turns the one-shot experiment runners of
+// internal/pusch into a scenario-sweep engine: a Scenario names one
+// configuration variant (an end-to-end chain run or a Fig. 9c use-case
+// budget), generators build whole families of them (SNR sweeps,
+// modulation-scheme x UE grids, cluster-size scaling), and a Runner fans
+// the scenarios out across host goroutines with one pooled simulator
+// Machine per worker and deterministic per-scenario seeds, so campaign
+// results are byte-identical across runs and worker counts.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/pusch"
+)
+
+// Scenario is one named point of a campaign: exactly one of Chain or
+// UseCase must be set. Generators produce scenarios in deterministic
+// order; hand-built ones compose with them freely.
+type Scenario struct {
+	Name string
+	// Chain runs the functional end-to-end receive chain and scores
+	// BER/EVM.
+	Chain *pusch.ChainConfig
+	// UseCase runs the Fig. 9c slot-budget experiment.
+	UseCase *pusch.UseCaseConfig
+}
+
+// Result is one scenario's outcome, shaped for one-JSON-line-per-scenario
+// emission: identifying parameters first, then link quality (chain runs
+// only), cycle counts and per-stage cycle shares. Failed scenarios carry
+// Error and zero metrics instead of aborting the campaign.
+type Result struct {
+	Scenario string  `json:"scenario"`
+	Kind     string  `json:"kind"` // "chain" or "usecase"
+	Cluster  string  `json:"cluster"`
+	Cores    int     `json:"cores"`
+	Scheme   string  `json:"scheme,omitempty"`
+	SNRdB    float64 `json:"snr_db"`
+	UEs      int     `json:"ues"`
+	Seed     uint64  `json:"seed,omitempty"`
+
+	BER      float64 `json:"ber"`
+	EVMdB    float64 `json:"evm_db"`
+	SigmaEst float64 `json:"sigma_est"`
+
+	TotalCycles int64   `json:"cycles"`
+	TimeMs      float64 `json:"time_ms"`
+	// StageShares maps each stage to its fraction of the run's cycles:
+	// the five chain stages for chain runs, the fft/mmm/chol kernel
+	// split for use-case runs.
+	StageShares map[string]float64 `json:"stage_shares,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// validate checks the one-variant invariant.
+func (s *Scenario) validate() error {
+	switch {
+	case s.Chain == nil && s.UseCase == nil:
+		return fmt.Errorf("campaign: scenario %q has no configuration", s.Name)
+	case s.Chain != nil && s.UseCase != nil:
+		return fmt.Errorf("campaign: scenario %q is both chain and use case", s.Name)
+	}
+	return nil
+}
+
+// run executes one scenario on machines drawn from pool, with seed as
+// the fallback when a chain scenario does not pin its own.
+func (s *Scenario) run(pool *engine.Machines, seed uint64) Result {
+	res := Result{Scenario: s.Name}
+	if err := s.validate(); err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	if s.Chain != nil {
+		return s.runChain(pool, seed)
+	}
+	return s.runUseCase(pool)
+}
+
+func (s *Scenario) runChain(pool *engine.Machines, seed uint64) Result {
+	cfg := *s.Chain
+	if cfg.Cluster == nil {
+		cfg.Cluster = arch.MemPool()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = seed
+	}
+	res := Result{
+		Scenario: s.Name,
+		Kind:     "chain",
+		SNRdB:    cfg.SNRdB,
+		Scheme:   cfg.Scheme.String(),
+		UEs:      cfg.NL,
+		Seed:     cfg.Seed,
+	}
+	// Validate before pool.Get: NewMachine panics on broken cluster
+	// configs, and a bad scenario must surface as Result.Error, not
+	// abort the campaign.
+	if err := cfg.Cluster.Validate(); err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Cluster = cfg.Cluster.Name
+	res.Cores = cfg.Cluster.NumCores()
+	m := pool.Get(cfg.Cluster)
+	cr, err := pusch.RunChainOn(m, cfg)
+	pool.Put(m)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.BER = cr.BER
+	res.EVMdB = cr.EVMdB
+	res.SigmaEst = cr.SigmaEst
+	res.TotalCycles = cr.TotalCycles
+	res.TimeMs = cr.TimeMs
+	if cr.TotalCycles > 0 {
+		res.StageShares = make(map[string]float64, len(cr.Stages))
+		for st, rep := range cr.Stages {
+			res.StageShares[string(st)] = float64(rep.Wall) / float64(cr.TotalCycles)
+		}
+	}
+	return res
+}
+
+func (s *Scenario) runUseCase(pool *engine.Machines) Result {
+	cfg := *s.UseCase
+	if cfg.Cluster == nil {
+		cfg.Cluster = pusch.DefaultUseCase().Cluster
+	}
+	res := Result{
+		Scenario: s.Name,
+		Kind:     "usecase",
+		UEs:      cfg.NL,
+	}
+	// As in runChain: surface a broken cluster config as a per-scenario
+	// error instead of letting pool.Get panic the campaign.
+	if err := cfg.Cluster.Validate(); err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Cluster = cfg.Cluster.Name
+	res.Cores = cfg.Cluster.NumCores()
+	ur, err := pusch.RunUseCaseOn(pool, cfg)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.TotalCycles = ur.TotalCycles
+	res.TimeMs = ur.TimeMs
+	res.StageShares = ur.Shares()
+	return res
+}

@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pusch"
+	"repro/internal/waveform"
+)
+
+// testBase is a chain configuration small enough that a whole sweep runs
+// in well under a second.
+func testBase() pusch.ChainConfig {
+	return pusch.ChainConfig{
+		NSC: 64, NR: 4, NB: 4, NL: 2,
+		NSymb: 3, NPilot: 2,
+		Scheme: waveform.QPSK,
+	}
+}
+
+func TestSNRSweepGenerator(t *testing.T) {
+	scens := SNRSweep(testBase(), 8, 26, 2)
+	if len(scens) != 10 {
+		t.Fatalf("SNRSweep(8, 26, 2) = %d scenarios, want 10", len(scens))
+	}
+	if scens[0].Chain.SNRdB != 8 || scens[9].Chain.SNRdB != 26 {
+		t.Errorf("sweep endpoints %g..%g, want 8..26", scens[0].Chain.SNRdB, scens[9].Chain.SNRdB)
+	}
+	seen := make(map[string]bool)
+	for _, s := range scens {
+		if s.Chain == nil || s.UseCase != nil {
+			t.Fatalf("scenario %q is not a pure chain scenario", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestCampaignDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	scens := SNRSweep(testBase(), 8, 22, 2)
+	if len(scens) < 8 {
+		t.Fatalf("sweep too small: %d", len(scens))
+	}
+	encode := func(workers int) string {
+		var buf bytes.Buffer
+		r := &Runner{Workers: workers}
+		if err := r.WriteJSONL(&buf, scens); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := encode(1)
+	if n := strings.Count(serial, "\n"); n != len(scens) {
+		t.Fatalf("%d JSON lines for %d scenarios", n, len(scens))
+	}
+	if again := encode(1); again != serial {
+		t.Error("same campaign twice (1 worker) produced different bytes")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := encode(workers); got != serial {
+			t.Errorf("campaign with %d workers diverges from serial run", workers)
+		}
+	}
+}
+
+func TestCampaignResultsCarryMetrics(t *testing.T) {
+	r := &Runner{Workers: 2}
+	results := r.Run(SNRSweep(testBase(), 20, 26, 2))
+	for _, res := range results {
+		if res.Error != "" {
+			t.Fatalf("%s: %s", res.Scenario, res.Error)
+		}
+		if res.Kind != "chain" || res.Cluster != "MemPool" || res.Cores != 256 {
+			t.Errorf("%s: kind/cluster/cores = %s/%s/%d", res.Scenario, res.Kind, res.Cluster, res.Cores)
+		}
+		if res.TotalCycles <= 0 {
+			t.Errorf("%s: no cycles", res.Scenario)
+		}
+		if res.Seed == 0 {
+			t.Errorf("%s: seed not assigned", res.Scenario)
+		}
+		var sum float64
+		for _, share := range res.StageShares {
+			sum += share
+		}
+		if sum <= 0.5 || sum > 1.0+1e-9 {
+			t.Errorf("%s: stage shares sum to %g", res.Scenario, sum)
+		}
+	}
+	// Higher SNR must not worsen BER in this tiny but clean setup.
+	if first, last := results[0], results[len(results)-1]; last.BER > first.BER {
+		t.Errorf("BER rose with SNR: %g at %g dB vs %g at %g dB",
+			first.BER, first.SNRdB, last.BER, last.SNRdB)
+	}
+}
+
+func TestSchemeGridAndErrors(t *testing.T) {
+	// NL=3 does not divide NSC=64: that grid point must fail gracefully.
+	scens := SchemeGrid(testBase(), []waveform.Scheme{waveform.QPSK, waveform.QAM16}, []int{2, 3})
+	if len(scens) != 4 {
+		t.Fatalf("grid size %d, want 4", len(scens))
+	}
+	results := (&Runner{Workers: 2}).Run(scens)
+	var failed, ok int
+	for _, res := range results {
+		if res.Error != "" {
+			failed++
+		} else {
+			ok++
+			if res.TotalCycles <= 0 {
+				t.Errorf("%s: no cycles", res.Scenario)
+			}
+		}
+	}
+	if failed != 2 || ok != 2 {
+		t.Errorf("failed/ok = %d/%d, want 2/2", failed, ok)
+	}
+}
+
+func TestClusterScalingScenarios(t *testing.T) {
+	scens := ClusterScaling(testBase(), []int{1, 2, 4})
+	results := (&Runner{}).Run(scens)
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	prev := int64(0)
+	for i, res := range results {
+		if res.Error != "" {
+			t.Fatalf("%s: %s", res.Scenario, res.Error)
+		}
+		wantCores := []int{64, 128, 256}[i]
+		if res.Cores != wantCores {
+			t.Errorf("%s: %d cores, want %d", res.Scenario, res.Cores, wantCores)
+		}
+		if prev != 0 && res.TotalCycles > prev*2 {
+			t.Errorf("cycles grew sharply with cluster size: %d -> %d", prev, res.TotalCycles)
+		}
+		prev = res.TotalCycles
+	}
+}
+
+func TestUseCaseScenario(t *testing.T) {
+	base := pusch.UseCaseConfig{
+		Cluster: arch.MemPool(),
+		Symbols: 4, DataSymbols: 2,
+		NFFT: 256, NR: 8, NB: 4, NL: 4,
+		CholPerRound: 4,
+	}
+	results := (&Runner{Workers: 2}).Run(CholScheduleSweep(base, []int{4, 16}))
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, res := range results {
+		if res.Error != "" {
+			t.Fatalf("%s: %s", res.Scenario, res.Error)
+		}
+		if res.Kind != "usecase" || res.TotalCycles <= 0 {
+			t.Errorf("%s: kind %s, cycles %d", res.Scenario, res.Kind, res.TotalCycles)
+		}
+		if len(res.StageShares) != 3 {
+			t.Errorf("%s: stage shares %v, want fft/mmm/chol", res.Scenario, res.StageShares)
+		}
+	}
+}
+
+func TestInvalidClusterSurfacesAsError(t *testing.T) {
+	// Groups: 0 fails arch.Config.Validate; the campaign must report it
+	// per scenario, not panic the worker (pool.Get would panic).
+	scens := ClusterScaling(testBase(), []int{0, 4})
+	results := (&Runner{Workers: 2}).Run(scens)
+	if results[0].Error == "" {
+		t.Error("invalid cluster scenario did not surface an error")
+	}
+	if results[1].Error != "" || results[1].TotalCycles <= 0 {
+		t.Errorf("valid sibling scenario damaged: %+v", results[1])
+	}
+
+	uc := pusch.UseCaseConfig{Cluster: &arch.Config{Name: "broken"}, Symbols: 4,
+		DataSymbols: 2, NFFT: 256, NR: 8, NB: 4, NL: 4, CholPerRound: 4}
+	results = (&Runner{}).Run([]Scenario{{Name: "bad-usecase", UseCase: &uc}})
+	if results[0].Error == "" {
+		t.Error("invalid use-case cluster did not surface an error")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	results := (&Runner{}).Run([]Scenario{{Name: "empty"}})
+	if results[0].Error == "" {
+		t.Error("empty scenario did not error")
+	}
+	cfg := testBase()
+	uc := pusch.DefaultUseCase()
+	results = (&Runner{}).Run([]Scenario{{Name: "both", Chain: &cfg, UseCase: &uc}})
+	if results[0].Error == "" {
+		t.Error("double-variant scenario did not error")
+	}
+}

@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/pusch"
+	"repro/internal/waveform"
+)
+
+// SNRSweep returns one chain scenario per SNR point from minDB to maxDB
+// inclusive in stepDB increments (stepDB <= 0 defaults to 2 dB), the
+// family behind BER/EVM-versus-SNR curves. All other parameters come
+// from base.
+func SNRSweep(base pusch.ChainConfig, minDB, maxDB, stepDB float64) []Scenario {
+	if stepDB <= 0 {
+		stepDB = 2
+	}
+	var out []Scenario
+	for i := 0; ; i++ {
+		snr := minDB + float64(i)*stepDB
+		if snr > maxDB+1e-9 {
+			break
+		}
+		cfg := base
+		cfg.SNRdB = snr
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("snr%+05.1fdB-%s", snr, cfg.Scheme),
+			Chain: &cfg,
+		})
+	}
+	return out
+}
+
+// SchemeGrid returns the cross product of modulation schemes and UE
+// counts over base: the scenario family behind scheme-robustness tables.
+// Points the chain cannot schedule (e.g. NSC not divisible by a UE
+// count) surface as per-scenario errors, not panics.
+func SchemeGrid(base pusch.ChainConfig, schemes []waveform.Scheme, ues []int) []Scenario {
+	var out []Scenario
+	for _, scheme := range schemes {
+		for _, nl := range ues {
+			cfg := base
+			cfg.Scheme = scheme
+			cfg.NL = nl
+			out = append(out, Scenario{
+				Name:  fmt.Sprintf("%s-%due", scheme, nl),
+				Chain: &cfg,
+			})
+		}
+	}
+	return out
+}
+
+// ClusterScaling returns one chain scenario per group count, scaling the
+// cluster while keeping the workload fixed: the family behind
+// cycles-versus-cores curves. The base cluster (default MemPool) provides
+// the tile geometry; each point gets an independent copy named after its
+// core count.
+func ClusterScaling(base pusch.ChainConfig, groups []int) []Scenario {
+	proto := base.Cluster
+	if proto == nil {
+		proto = arch.MemPool()
+	}
+	var out []Scenario
+	for _, g := range groups {
+		cl := *proto
+		cl.Groups = g
+		cl.Name = fmt.Sprintf("%s-g%d", proto.Name, g)
+		cfg := base
+		cfg.Cluster = &cl
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("cluster-%dcores", cl.NumCores()),
+			Chain: &cfg,
+		})
+	}
+	return out
+}
+
+// CholScheduleSweep returns one use-case scenario per Cholesky batching
+// depth (the paper's green-versus-red schedule comparison, generalized),
+// all on the same cluster.
+func CholScheduleSweep(base pusch.UseCaseConfig, perRound []int) []Scenario {
+	var out []Scenario
+	for _, n := range perRound {
+		cfg := base
+		cfg.CholPerRound = n
+		out = append(out, Scenario{
+			Name:    fmt.Sprintf("usecase-chol%d", n),
+			UseCase: &cfg,
+		})
+	}
+	return out
+}

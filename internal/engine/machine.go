@@ -98,18 +98,50 @@ func NewMachine(cfg *arch.Config) *Machine {
 		icache:     make([]tileICache, cfg.NumTiles()),
 		barrierRow: make([]tcdm.TileBlock, cfg.NumTiles()),
 	}
-	for t := 0; t < cfg.NumTiles(); t++ {
+	m.reserveBarrierRows()
+	for t := range m.icache {
+		m.icache[t].resident = make(map[string]int)
+	}
+	m.raceWriters = make(map[arch.Addr]int32)
+	return m
+}
+
+// reserveBarrierRows claims the per-tile barrier counter row, the first
+// allocation of a fresh (or freshly Reset) arena.
+func (m *Machine) reserveBarrierRows() {
+	for t := 0; t < m.Cfg.NumTiles(); t++ {
 		blk, err := m.Mem.AllocTileLocal(t, 1)
 		if err != nil {
 			panic(fmt.Sprintf("engine: barrier row allocation: %v", err))
 		}
 		m.barrierRow[t] = blk
 	}
-	for t := range m.icache {
-		m.icache[t].resident = make(map[string]int)
+}
+
+// Reset returns the machine to its just-constructed state — clocks,
+// counters, instruction caches, race-detector state and the TCDM arenas
+// (including stored words) are all cleared and the barrier rows
+// re-reserved — so one Machine (and its multi-MiB memory arena) can be
+// reused across independent runs instead of reallocated. A reused
+// machine reproduces a fresh machine's timing and results exactly.
+//
+// An attached Tracer is not detached, but its recorded events are
+// dropped so a new run starts with an empty timeline.
+func (m *Machine) Reset() {
+	m.Mem.Reset()
+	m.reserveBarrierRows()
+	clear(m.coreTime)
+	for i := range m.coreStats {
+		m.coreStats[i] = Stats{}
 	}
-	m.raceWriters = make(map[arch.Addr]int32)
-	return m
+	for t := range m.icache {
+		m.icache[t] = tileICache{resident: make(map[string]int)}
+	}
+	m.phaseCounter = 0
+	clear(m.raceWriters)
+	if m.Tracer != nil {
+		m.Tracer.Reset()
+	}
 }
 
 // CoreTime returns the current cycle of one core.

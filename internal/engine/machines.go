@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/arch"
+)
+
+// Machines is a concurrency-safe pool of reusable Machine instances,
+// keyed by cluster configuration value. Building a Machine allocates the
+// cluster's full L1 arena (1 MiB for MemPool, 4 MiB for TeraPool), so
+// workloads that run many independent experiments — parameter sweeps,
+// campaign runners, benchmarks — recycle machines through a pool instead
+// of reallocating one per run. Get resets a pooled machine before
+// handing it out, which restores the just-constructed state exactly
+// (see Machine.Reset), so pooled and fresh machines are interchangeable.
+//
+// Configurations are compared by value, not pointer identity: two
+// independently built *arch.Config with equal fields share pool slots.
+type Machines struct {
+	mu   sync.Mutex
+	free map[arch.Config][]*Machine
+}
+
+// NewMachines returns an empty pool.
+func NewMachines() *Machines {
+	return &Machines{free: make(map[arch.Config][]*Machine)}
+}
+
+// Get returns a machine for cfg: a reset pooled one when available,
+// otherwise a newly built one. Like NewMachine it panics on an invalid
+// configuration.
+func (ms *Machines) Get(cfg *arch.Config) *Machine {
+	ms.mu.Lock()
+	key := *cfg
+	var m *Machine
+	if q := ms.free[key]; len(q) > 0 {
+		m, ms.free[key] = q[len(q)-1], q[:len(q)-1]
+	}
+	ms.mu.Unlock()
+	if m == nil {
+		return NewMachine(cfg)
+	}
+	m.Reset()
+	// Reset deliberately preserves caller-set knobs (an attached Tracer,
+	// DebugRaces, RotatePriority) for same-owner reuse; across pool
+	// owners they would leak state and perturb timing, so scrub them.
+	m.Tracer = nil
+	m.DebugRaces = false
+	m.RotatePriority = false
+	return m
+}
+
+// Put returns a machine to the pool for later reuse. The caller must not
+// use m afterwards.
+func (ms *Machines) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	ms.mu.Lock()
+	key := *m.Cfg
+	ms.free[key] = append(ms.free[key], m)
+	ms.mu.Unlock()
+}
+
+// Size returns the number of idle machines currently pooled.
+func (ms *Machines) Size() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	n := 0
+	for _, q := range ms.free {
+		n += len(q)
+	}
+	return n
+}

@@ -33,6 +33,14 @@ func (t *Tracer) record(ev TraceEvent) {
 	t.Events = append(t.Events, ev)
 }
 
+// Reset drops all recorded events, keeping the tracer attached.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.Events = t.Events[:0]
+}
+
 // JobNames returns the distinct job names in first-seen order.
 func (t *Tracer) JobNames() []string {
 	seen := make(map[string]bool)

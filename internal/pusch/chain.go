@@ -2,16 +2,12 @@ package pusch
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
 
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/fixed"
 	"repro/internal/kernels/chest"
-	"repro/internal/kernels/fft"
-	"repro/internal/kernels/mimo"
-	"repro/internal/kernels/mmm"
 	"repro/internal/waveform"
 )
 
@@ -110,204 +106,59 @@ func (c *ChainConfig) fftBatch() (batch int, err error) {
 	return batch, nil
 }
 
-// RunChain executes the full receive chain and reports link quality plus
-// per-stage timing.
+// RunChain executes the full receive chain on a freshly built machine
+// and reports link quality plus per-stage timing. It composes the three
+// chain stages — SlotTX (transmit side), Pipeline (receive kernels) and
+// ScoreSlot (link metrics) — which are also callable individually.
 func RunChain(cfg ChainConfig) (*ChainResult, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return RunChainOn(engine.NewMachine(cfg.Cluster), cfg)
+}
+
+// RunChainOn executes the full receive chain on a caller-supplied
+// machine, which must be fresh or Reset and built for cfg.Cluster (a nil
+// cfg.Cluster adopts the machine's own configuration). Sweeps use it to
+// reuse one pooled Machine — and its multi-MiB TCDM arena — across many
+// scenario runs; a reused machine reproduces a fresh machine's cycle
+// counts exactly.
+func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
+	if cfg.Cluster == nil {
+		cfg.Cluster = m.Cfg
+	}
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
 
-	// ---- Transmit side (float, host) ----
-	pilots := waveform.QPSKPilots(uint32(cfg.Seed)|1, cfg.NSC, cfg.PilotAmp)
-	bps := cfg.Scheme.BitsPerSymbol()
-	nData := cfg.NSymb - cfg.NPilot
-	txBits := make([][][]byte, cfg.NL) // [ue][dataSymbol][bits]
-	grids := make([][][]complex128, cfg.NL)
-	for l := 0; l < cfg.NL; l++ {
-		txBits[l] = make([][]byte, nData)
-		grids[l] = make([][]complex128, cfg.NSymb)
-		for s := 0; s < cfg.NSymb; s++ {
-			g := make([]complex128, cfg.NSC)
-			if s < cfg.NPilot {
-				for sc := l; sc < cfg.NSC; sc += cfg.NL {
-					g[sc] = pilots[sc]
-				}
-			} else {
-				bits := waveform.RandBits(rng, cfg.NSC*bps)
-				txBits[l][s-cfg.NPilot] = bits
-				syms, err := waveform.Modulate(cfg.Scheme, bits, cfg.DataAmp)
-				if err != nil {
-					return nil, err
-				}
-				copy(g, syms)
-			}
-			grids[l][s] = g
-		}
+	tx, err := NewSlotTX(&cfg, rng)
+	if err != nil {
+		return nil, err
 	}
-
-	// ---- Channel ----
-	ch := waveform.NewChannel(rng, cfg.NR, cfg.NL, cfg.Taps)
-	noiseStd := cfg.DataAmp * math.Pow(10, -cfg.SNRdB/20) / math.Sqrt2
-	rxTime := make([][][]complex128, cfg.NSymb) // [symbol][antenna][sample]
+	pl, err := NewPipeline(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for s := 0; s < cfg.NSymb; s++ {
-		tx := make([][]complex128, cfg.NL)
-		for l := 0; l < cfg.NL; l++ {
-			tx[l] = waveform.OFDMModulate(grids[l][s])
-		}
-		rx, err := ch.Apply(rng, tx, noiseStd)
-		if err != nil {
+		if err := pl.RunSymbol(s, tx.RxTime[s]); err != nil {
 			return nil, err
 		}
-		rxTime[s] = rx
 	}
-
-	// ---- Receive chain on the simulator ----
-	m := engine.NewMachine(cfg.Cluster)
-	res := &ChainResult{Stages: make(map[Stage]engine.Report)}
-
-	batch, err := cfg.fftBatch()
+	lm, err := ScoreSlot(&cfg, tx, pl.Detected())
 	if err != nil {
 		return nil, err
 	}
-	fftPlan, err := fft.NewPlan(m, cfg.NSC, cfg.NR, batch, fft.Folded)
-	if err != nil {
-		return nil, err
-	}
-	fftOut := fftPlan.OutBase(0)
-	bfPlan, err := mmm.NewPlan(m, cfg.NSC, cfg.NR, cfg.NB, m.Cfg.NumCores(), mmm.Options{
-		AExternal:   &fftOut,
-		ATransposed: true,
-		ZeroShift:   true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Beamforming coefficients: unitary DFT beams, quantized.
-	w := waveform.DFTBeams(cfg.NB, cfg.NR)
-	bq := make([]fixed.C15, cfg.NR*cfg.NB)
-	for r := 0; r < cfg.NR; r++ {
-		for b := 0; b < cfg.NB; b++ {
-			bq[r*cfg.NB+b] = fixed.FromComplex(w.At(b, r))
-		}
-	}
-	if err := bfPlan.WriteB(bq); err != nil {
-		return nil, err
-	}
-	beamBase := bfPlan.CBase()
-
-	chestPlans := make([]*chest.Plan, cfg.NPilot)
-	for i := range chestPlans {
-		pl, err := chest.NewPlan(m, cfg.NSC, cfg.NB, cfg.NL, m.Cfg.NumCores(), &beamBase)
-		if err != nil {
-			return nil, err
-		}
-		pq := make([]fixed.C15, cfg.NSC)
-		for sc := range pq {
-			pq[sc] = fixed.FromComplex(pilots[sc])
-		}
-		if err := pl.WritePilots(pq); err != nil {
-			return nil, err
-		}
-		chestPlans[i] = pl
-	}
-	comb, err := newCombinePlan(m, chestPlans[0], chestPlans[1])
-	if err != nil {
-		return nil, err
-	}
-	mimoPlan, err := mimo.NewPlan(m, cfg.NSC, cfg.NB, cfg.NL, m.Cfg.NumCores(),
-		comb.HAddr, comb.SigmaAddr(), &beamBase)
-	if err != nil {
-		return nil, err
-	}
-	mimoPlan.Interp = cfg.InterpolateChannel
-
-	accumulate := func(stage Stage, mark engine.Mark, name string) {
-		rep := m.ReportSince(mark, name, nil)
-		agg := res.Stages[stage]
-		agg.Name = string(stage)
-		agg.Cores = rep.Cores
-		agg.Wall += rep.Wall
-		agg.Stats.Add(rep.Stats)
-		res.Stages[stage] = agg
-	}
-
-	var detected []fixed.C15
-	start := m.Cycles()
-	for s := 0; s < cfg.NSymb; s++ {
-		// OFDM demodulation: one FFT per antenna.
-		for a := 0; a < cfg.NR; a++ {
-			q := make([]fixed.C15, cfg.NSC)
-			for i, v := range rxTime[s][a] {
-				q[i] = fixed.FromComplex(v)
-			}
-			if err := fftPlan.WriteInput(a/batch, a%batch, q); err != nil {
-				return nil, err
-			}
-		}
-		mark := m.Mark()
-		if err := fftPlan.Run(); err != nil {
-			return nil, err
-		}
-		m.ClusterBarrier()
-		accumulate(StageOFDM, mark, "fft")
-
-		mark = m.Mark()
-		if err := bfPlan.Run(); err != nil {
-			return nil, err
-		}
-		m.ClusterBarrier()
-		accumulate(StageBF, mark, "bf")
-
-		switch {
-		case s < cfg.NPilot:
-			mark = m.Mark()
-			if err := chestPlans[s].Run(); err != nil {
-				return nil, err
-			}
-			m.ClusterBarrier()
-			accumulate(StageCHE, mark, "chest")
-			if s == cfg.NPilot-1 {
-				mark = m.Mark()
-				if err := comb.Run(); err != nil {
-					return nil, err
-				}
-				m.ClusterBarrier()
-				accumulate(StageNE, mark, "combine")
-			}
-		default:
-			mark = m.Mark()
-			if err := mimoPlan.Run(); err != nil {
-				return nil, err
-			}
-			m.ClusterBarrier()
-			accumulate(StageMIMO, mark, "mimo")
-			detected = append(detected, mimoPlan.ReadX()...)
-		}
-	}
-	res.TotalCycles = m.Cycles() - start
-	res.TimeMs = float64(res.TotalCycles) / 1e6 // 1 GHz -> 1e6 cycles per ms
-	res.SigmaEst = comb.Sigma()
-
-	// ---- Link quality (host) ----
-	var gotBits, wantBits []byte
-	var gotSyms, wantSyms []complex128
-	for d := 0; d < nData; d++ {
-		for l := 0; l < cfg.NL; l++ {
-			syms := make([]complex128, cfg.NSC)
-			for sc := 0; sc < cfg.NSC; sc++ {
-				syms[sc] = detected[(d*cfg.NSC+sc)*cfg.NL+l].Complex()
-			}
-			gotSyms = append(gotSyms, syms...)
-			wantSyms = append(wantSyms, grids[l][cfg.NPilot+d]...)
-			gotBits = append(gotBits, waveform.Demodulate(cfg.Scheme, syms, cfg.DataAmp)...)
-			wantBits = append(wantBits, txBits[l][d]...)
-		}
-	}
-	res.BER = waveform.BER(gotBits, wantBits)
-	res.EVMdB = waveform.EVMdB(gotSyms, wantSyms)
-	return res, nil
+	return &ChainResult{
+		BER:         lm.BER,
+		EVMdB:       lm.EVMdB,
+		SigmaEst:    pl.Sigma(),
+		TotalCycles: pl.Cycles(),
+		TimeMs:      float64(pl.Cycles()) / 1e6, // 1 GHz -> 1e6 cycles per ms
+		Stages:      pl.Stages(),
+	}, nil
 }
 
 // combinePlan averages the two pilot-symbol channel estimates and

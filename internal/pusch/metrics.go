@@ -1,0 +1,44 @@
+package pusch
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/waveform"
+)
+
+// LinkMetrics is the host-side scoring stage of the chain: the detected
+// symbols of a Pipeline compared against the transmitted slot. It is the
+// third separately callable chain stage (after SlotTX and Pipeline).
+type LinkMetrics struct {
+	BER   float64
+	EVMdB float64
+}
+
+// ScoreSlot demodulates the detected symbols and compares bits and
+// constellation points with the transmitted ones. detected must hold
+// every data symbol of the slot in Pipeline.Detected order.
+func ScoreSlot(cfg *ChainConfig, tx *SlotTX, detected []fixed.C15) (*LinkMetrics, error) {
+	nData := cfg.NSymb - cfg.NPilot
+	if want := nData * cfg.NSC * cfg.NL; len(detected) != want {
+		return nil, fmt.Errorf("pusch: ScoreSlot: %d detected symbols, want %d", len(detected), want)
+	}
+	var gotBits, wantBits []byte
+	var gotSyms, wantSyms []complex128
+	for d := 0; d < nData; d++ {
+		for l := 0; l < cfg.NL; l++ {
+			syms := make([]complex128, cfg.NSC)
+			for sc := 0; sc < cfg.NSC; sc++ {
+				syms[sc] = detected[(d*cfg.NSC+sc)*cfg.NL+l].Complex()
+			}
+			gotSyms = append(gotSyms, syms...)
+			wantSyms = append(wantSyms, tx.Grids[l][cfg.NPilot+d]...)
+			gotBits = append(gotBits, waveform.Demodulate(cfg.Scheme, syms, cfg.DataAmp)...)
+			wantBits = append(wantBits, tx.Bits[l][d]...)
+		}
+	}
+	return &LinkMetrics{
+		BER:   waveform.BER(gotBits, wantBits),
+		EVMdB: waveform.EVMdB(gotSyms, wantSyms),
+	}, nil
+}

@@ -1,0 +1,187 @@
+package pusch
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fixed"
+	"repro/internal/kernels/chest"
+	"repro/internal/kernels/fft"
+	"repro/internal/kernels/mimo"
+	"repro/internal/kernels/mmm"
+	"repro/internal/waveform"
+)
+
+// Pipeline is the receive-side kernel stage of the functional chain: all
+// kernel plans of one slot laid out on one machine, run one OFDM symbol
+// at a time. It is the second of the three separately callable chain
+// stages (SlotTX, Pipeline, link metrics); RunChainOn composes them, and
+// the campaign runner drives a Pipeline per scenario on a pooled,
+// Reset machine.
+type Pipeline struct {
+	cfg   ChainConfig
+	m     *engine.Machine
+	batch int
+
+	fftPlan    *fft.Plan
+	bfPlan     *mmm.Plan
+	chestPlans []*chest.Plan
+	comb       *combinePlan
+	mimoPlan   *mimo.Plan
+
+	start    int64
+	detected []fixed.C15
+	stages   map[Stage]engine.Report
+}
+
+// NewPipeline plans every kernel of the receive chain on m. cfg must
+// already be defaulted and validated, and m must have been built for
+// cfg.Cluster.
+func NewPipeline(m *engine.Machine, cfg ChainConfig) (*Pipeline, error) {
+	if *m.Cfg != *cfg.Cluster {
+		return nil, fmt.Errorf("pusch: pipeline machine is a %s, config wants %s", m.Cfg.Name, cfg.Cluster.Name)
+	}
+	pl := &Pipeline{cfg: cfg, m: m, stages: make(map[Stage]engine.Report)}
+
+	batch, err := cfg.fftBatch()
+	if err != nil {
+		return nil, err
+	}
+	pl.batch = batch
+	if pl.fftPlan, err = fft.NewPlan(m, cfg.NSC, cfg.NR, batch, fft.Folded); err != nil {
+		return nil, err
+	}
+	fftOut := pl.fftPlan.OutBase(0)
+	pl.bfPlan, err = mmm.NewPlan(m, cfg.NSC, cfg.NR, cfg.NB, m.Cfg.NumCores(), mmm.Options{
+		AExternal:   &fftOut,
+		ATransposed: true,
+		ZeroShift:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Beamforming coefficients: unitary DFT beams, quantized.
+	w := waveform.DFTBeams(cfg.NB, cfg.NR)
+	bq := make([]fixed.C15, cfg.NR*cfg.NB)
+	for r := 0; r < cfg.NR; r++ {
+		for b := 0; b < cfg.NB; b++ {
+			bq[r*cfg.NB+b] = fixed.FromComplex(w.At(b, r))
+		}
+	}
+	if err := pl.bfPlan.WriteB(bq); err != nil {
+		return nil, err
+	}
+	beamBase := pl.bfPlan.CBase()
+
+	pilots := chainPilots(&cfg)
+	pl.chestPlans = make([]*chest.Plan, cfg.NPilot)
+	for i := range pl.chestPlans {
+		p, err := chest.NewPlan(m, cfg.NSC, cfg.NB, cfg.NL, m.Cfg.NumCores(), &beamBase)
+		if err != nil {
+			return nil, err
+		}
+		pq := make([]fixed.C15, cfg.NSC)
+		for sc := range pq {
+			pq[sc] = fixed.FromComplex(pilots[sc])
+		}
+		if err := p.WritePilots(pq); err != nil {
+			return nil, err
+		}
+		pl.chestPlans[i] = p
+	}
+	if pl.comb, err = newCombinePlan(m, pl.chestPlans[0], pl.chestPlans[1]); err != nil {
+		return nil, err
+	}
+	pl.mimoPlan, err = mimo.NewPlan(m, cfg.NSC, cfg.NB, cfg.NL, m.Cfg.NumCores(),
+		pl.comb.HAddr, pl.comb.SigmaAddr(), &beamBase)
+	if err != nil {
+		return nil, err
+	}
+	pl.mimoPlan.Interp = cfg.InterpolateChannel
+
+	pl.start = m.Cycles()
+	return pl, nil
+}
+
+// accumulate folds one measured window into the per-stage aggregate.
+func (pl *Pipeline) accumulate(stage Stage, mark engine.Mark, name string) {
+	rep := pl.m.ReportSince(mark, name, nil)
+	agg := pl.stages[stage]
+	agg.Name = string(stage)
+	agg.Cores = rep.Cores
+	agg.Wall += rep.Wall
+	agg.Stats.Add(rep.Stats)
+	pl.stages[stage] = agg
+}
+
+// RunSymbol processes OFDM symbol s from its per-antenna time-domain
+// samples: FFT and beamforming on every symbol, then channel estimation
+// (plus the noise-estimate combine after the last pilot) on pilot
+// symbols or MIMO detection on data symbols. Symbols must be run in
+// order 0..NSymb-1.
+func (pl *Pipeline) RunSymbol(s int, rx [][]complex128) error {
+	cfg := &pl.cfg
+	for a := 0; a < cfg.NR; a++ {
+		q := make([]fixed.C15, cfg.NSC)
+		for i, v := range rx[a] {
+			q[i] = fixed.FromComplex(v)
+		}
+		if err := pl.fftPlan.WriteInput(a/pl.batch, a%pl.batch, q); err != nil {
+			return err
+		}
+	}
+	mark := pl.m.Mark()
+	if err := pl.fftPlan.Run(); err != nil {
+		return err
+	}
+	pl.m.ClusterBarrier()
+	pl.accumulate(StageOFDM, mark, "fft")
+
+	mark = pl.m.Mark()
+	if err := pl.bfPlan.Run(); err != nil {
+		return err
+	}
+	pl.m.ClusterBarrier()
+	pl.accumulate(StageBF, mark, "bf")
+
+	switch {
+	case s < cfg.NPilot:
+		mark = pl.m.Mark()
+		if err := pl.chestPlans[s].Run(); err != nil {
+			return err
+		}
+		pl.m.ClusterBarrier()
+		pl.accumulate(StageCHE, mark, "chest")
+		if s == cfg.NPilot-1 {
+			mark = pl.m.Mark()
+			if err := pl.comb.Run(); err != nil {
+				return err
+			}
+			pl.m.ClusterBarrier()
+			pl.accumulate(StageNE, mark, "combine")
+		}
+	default:
+		mark = pl.m.Mark()
+		if err := pl.mimoPlan.Run(); err != nil {
+			return err
+		}
+		pl.m.ClusterBarrier()
+		pl.accumulate(StageMIMO, mark, "mimo")
+		pl.detected = append(pl.detected, pl.mimoPlan.ReadX()...)
+	}
+	return nil
+}
+
+// Cycles returns the simulated cycles spent in RunSymbol calls so far.
+func (pl *Pipeline) Cycles() int64 { return pl.m.Cycles() - pl.start }
+
+// Detected returns the accumulated MIMO-detected symbols, interleaved
+// [dataSymbol][subcarrier][ue] in detection order.
+func (pl *Pipeline) Detected() []fixed.C15 { return pl.detected }
+
+// Stages returns the per-stage aggregated reports.
+func (pl *Pipeline) Stages() map[Stage]engine.Report { return pl.stages }
+
+// Sigma returns the estimated noise variance after the pilot symbols
+// have been processed.
+func (pl *Pipeline) Sigma() float64 { return pl.comb.Sigma() }

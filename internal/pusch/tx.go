@@ -1,0 +1,83 @@
+package pusch
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/waveform"
+)
+
+// SlotTX is the host-side transmit stage of one functional slot: the
+// per-UE resource grids (pilot and data symbols), the transmitted data
+// bits kept for BER scoring, and the time-domain antenna samples after
+// the multipath channel and AWGN. It is the first of the three
+// separately callable chain stages (transmit, Pipeline, link metrics)
+// that RunChainOn composes and that campaign sweeps reuse directly.
+type SlotTX struct {
+	// Pilots is the full-band pilot sequence shared by TX and the
+	// receive pipeline's channel estimator.
+	Pilots []complex128
+	// Grids holds the frequency-domain resource grid per UE and symbol.
+	Grids [][][]complex128 // [ue][symbol][subcarrier]
+	// Bits are the transmitted data bits per UE and data symbol.
+	Bits [][][]byte // [ue][dataSymbol][bit]
+	// RxTime are the received time-domain samples per symbol and antenna.
+	RxTime [][][]complex128 // [symbol][antenna][sample]
+}
+
+// chainPilots derives the slot's pilot sequence from the configuration.
+// TX and the receive pipeline both call it so the two sides agree
+// without sharing state.
+func chainPilots(cfg *ChainConfig) []complex128 {
+	return waveform.QPSKPilots(uint32(cfg.Seed)|1, cfg.NSC, cfg.PilotAmp)
+}
+
+// NewSlotTX runs the transmit side of one slot on the host: it draws the
+// data bits, modulates the per-UE grids (pilot symbols are comb-mapped
+// across UEs), passes every OFDM symbol through a freshly drawn multipath
+// MIMO channel and adds noise at the configured SNR. cfg must already be
+// defaulted and validated.
+func NewSlotTX(cfg *ChainConfig, rng *rand.Rand) (*SlotTX, error) {
+	tx := &SlotTX{Pilots: chainPilots(cfg)}
+	bps := cfg.Scheme.BitsPerSymbol()
+	nData := cfg.NSymb - cfg.NPilot
+	tx.Bits = make([][][]byte, cfg.NL)
+	tx.Grids = make([][][]complex128, cfg.NL)
+	for l := 0; l < cfg.NL; l++ {
+		tx.Bits[l] = make([][]byte, nData)
+		tx.Grids[l] = make([][]complex128, cfg.NSymb)
+		for s := 0; s < cfg.NSymb; s++ {
+			g := make([]complex128, cfg.NSC)
+			if s < cfg.NPilot {
+				for sc := l; sc < cfg.NSC; sc += cfg.NL {
+					g[sc] = tx.Pilots[sc]
+				}
+			} else {
+				bits := waveform.RandBits(rng, cfg.NSC*bps)
+				tx.Bits[l][s-cfg.NPilot] = bits
+				syms, err := waveform.Modulate(cfg.Scheme, bits, cfg.DataAmp)
+				if err != nil {
+					return nil, err
+				}
+				copy(g, syms)
+			}
+			tx.Grids[l][s] = g
+		}
+	}
+
+	ch := waveform.NewChannel(rng, cfg.NR, cfg.NL, cfg.Taps)
+	noiseStd := cfg.DataAmp * math.Pow(10, -cfg.SNRdB/20) / math.Sqrt2
+	tx.RxTime = make([][][]complex128, cfg.NSymb)
+	for s := 0; s < cfg.NSymb; s++ {
+		txSamples := make([][]complex128, cfg.NL)
+		for l := 0; l < cfg.NL; l++ {
+			txSamples[l] = waveform.OFDMModulate(tx.Grids[l][s])
+		}
+		rx, err := ch.Apply(rng, txSamples, noiseStd)
+		if err != nil {
+			return nil, err
+		}
+		tx.RxTime[s] = rx
+	}
+	return tx, nil
+}

@@ -131,8 +131,19 @@ func measure(m *engine.Machine, name string, fn func() error) (engine.Report, er
 	return rep, nil
 }
 
-// RunUseCase executes the Fig. 9c experiment.
+// RunUseCase executes the Fig. 9c experiment on freshly built machines.
 func RunUseCase(cfg UseCaseConfig) (*UseCaseResult, error) {
+	return RunUseCaseOn(nil, cfg)
+}
+
+// RunUseCaseOn executes the Fig. 9c experiment, drawing every machine it
+// needs from pool (nil builds them fresh). The experiment's independent
+// kernel measurements run on sequentially recycled machines, so a sweep
+// over many use-case variants allocates each cluster arena once.
+func RunUseCaseOn(pool *engine.Machines, cfg UseCaseConfig) (*UseCaseResult, error) {
+	if pool == nil {
+		pool = engine.NewMachines()
+	}
 	if cfg.Cluster == nil {
 		def := DefaultUseCase()
 		cfg.Cluster = def.Cluster
@@ -144,7 +155,16 @@ func RunUseCase(cfg UseCaseConfig) (*UseCaseResult, error) {
 	rng := rand.New(rand.NewPCG(2023, 1203))
 
 	// ---- Machine A: FFT chained into the beamforming MMM ----
-	mA := engine.NewMachine(cluster)
+	// One machine is checked out at a time and recycled between the
+	// independent measurements; the deferred Put keeps it pooled on
+	// every early error return too.
+	mA := pool.Get(cluster)
+	cur := mA
+	defer func() {
+		if cur != nil {
+			pool.Put(cur)
+		}
+	}()
 	lanes := cfg.NFFT / 16
 	maxJobs := max(cluster.NumCores()/lanes, 1)
 	batch := (cfg.NR + maxJobs - 1) / maxJobs
@@ -182,9 +202,11 @@ func RunUseCase(cfg UseCaseConfig) (*UseCaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool.Put(mA)
 
 	// ---- Machine B: the MIMO stage (bare Cholesky or the full kernel) ----
-	mB := engine.NewMachine(cluster)
+	mB := pool.Get(cluster)
+	cur = mB
 	cores := cluster.NumCores()
 	perSymbol := (cfg.NFFT + cores - 1) / cores // decompositions per core per data symbol
 	var cholRep engine.Report
@@ -212,6 +234,8 @@ func RunUseCase(cfg UseCaseConfig) (*UseCaseResult, error) {
 		}
 		cholRep = rep
 	}
+	pool.Put(mB)
+	cur = nil
 
 	res := &UseCaseResult{}
 	res.FFT = KernelTiming{
@@ -237,7 +261,7 @@ func RunUseCase(cfg UseCaseConfig) (*UseCaseResult, error) {
 	res.TimeMs = float64(res.TotalCycles) / 1e6
 
 	if cfg.WithSerial {
-		serial, err := runUseCaseSerial(cfg, cluster, rng)
+		serial, err := runUseCaseSerial(pool, cfg, cluster, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -276,9 +300,17 @@ func measureFullMIMO(mB *engine.Machine, cfg UseCaseConfig, rng *rand.Rand) (eng
 
 // runUseCaseSerial measures the single-core baseline of the same slot:
 // one serial pass per kernel, scaled by the per-slot repetition counts.
-func runUseCaseSerial(cfg UseCaseConfig, cluster *arch.Config, rng *rand.Rand) (int64, error) {
-	// Serial FFT: one transform, scaled by antennas and symbols.
-	mF := engine.NewMachine(cluster)
+func runUseCaseSerial(pool *engine.Machines, cfg UseCaseConfig, cluster *arch.Config, rng *rand.Rand) (int64, error) {
+	// Serial FFT: one transform, scaled by antennas and symbols. As in
+	// RunUseCaseOn, one machine is checked out at a time and the defer
+	// covers the error returns.
+	mF := pool.Get(cluster)
+	cur := mF
+	defer func() {
+		if cur != nil {
+			pool.Put(cur)
+		}
+	}()
 	sf, err := fft.NewSerialPlan(mF, 0, cfg.NFFT, 1)
 	if err != nil {
 		return 0, err
@@ -290,8 +322,10 @@ func runUseCaseSerial(cfg UseCaseConfig, cluster *arch.Config, rng *rand.Rand) (
 	if err != nil {
 		return 0, err
 	}
+	pool.Put(mF)
 	// Serial MMM: the full beamforming product once, scaled by symbols.
-	mM := engine.NewMachine(cluster)
+	mM := pool.Get(cluster)
+	cur = mM
 	sm, err := mmm.NewPlan(mM, cfg.NFFT, cfg.NR, cfg.NB, 1, mmm.Options{})
 	if err != nil {
 		return 0, err
@@ -306,8 +340,10 @@ func runUseCaseSerial(cfg UseCaseConfig, cluster *arch.Config, rng *rand.Rand) (
 	if err != nil {
 		return 0, err
 	}
+	pool.Put(mM)
 	// Serial Cholesky: a small batch, scaled to all decompositions.
-	mC := engine.NewMachine(cluster)
+	mC := pool.Get(cluster)
+	cur = mC
 	const serialDecs = 32
 	sc, err := chol.NewSerialPlan(mC, 0, cfg.NL, serialDecs)
 	if err != nil {
@@ -322,6 +358,8 @@ func runUseCaseSerial(cfg UseCaseConfig, cluster *arch.Config, rng *rand.Rand) (
 	if err != nil {
 		return 0, err
 	}
+	pool.Put(mC)
+	cur = nil
 	total := fftRep.Wall*int64(cfg.NR*cfg.Symbols) +
 		mmmRep.Wall*int64(cfg.Symbols) +
 		cholRep.Wall*int64(cfg.DataSymbols*cfg.NFFT)/serialDecs

@@ -121,15 +121,17 @@ func (m *Mem) AllocTileLocal(tile, rows int) (TileBlock, error) {
 	return TileBlock{cfg: m.Cfg, Tile: tile, Row0: newFloor, Rows: rows}, nil
 }
 
-// Reset releases all allocations and clears contention history. Stored
-// data is kept (the arena is a placement bookkeeper, not an MMU); callers
-// that need fresh data simply overwrite it.
+// Reset releases all allocations, clears contention history and zeroes
+// the stored words, returning the memory to its just-constructed state.
+// Zeroing matters for reuse: a fresh Mem reads 0 everywhere, and a reused
+// one must be indistinguishable from it for runs to be reproducible.
 func (m *Mem) Reset() {
 	m.seqNext = 0
 	for i := range m.localFloor {
 		m.localFloor[i] = m.Cfg.BankWords
 	}
 	m.Res = NewReservation(m.Cfg.NumBanks())
+	clear(m.data)
 }
 
 // FreeWords reports how many words remain available to AllocSeq assuming

@@ -1,0 +1,57 @@
+package pusch
+
+import (
+	"io"
+
+	"repro/internal/campaign"
+	"repro/waveform"
+)
+
+// Campaign engine re-exports: a Scenario names one configuration variant
+// of the chain or the use case, generators build whole families, and the
+// Runner executes them in parallel on pooled simulator machines with
+// deterministic results. See internal/campaign for the full contract.
+type (
+	// Scenario is one named campaign point (a ChainConfig or
+	// UseCaseConfig variant).
+	Scenario = campaign.Scenario
+	// CampaignResult is one scenario's outcome, shaped for JSON-lines
+	// emission.
+	CampaignResult = campaign.Result
+	// Runner fans scenarios out across host goroutines with one pooled
+	// machine per worker.
+	Runner = campaign.Runner
+)
+
+// SNRSweep generates one chain scenario per SNR point in [minDB, maxDB].
+func SNRSweep(base ChainConfig, minDB, maxDB, stepDB float64) []Scenario {
+	return campaign.SNRSweep(base, minDB, maxDB, stepDB)
+}
+
+// SchemeGrid generates the modulation-scheme x UE-count cross product.
+func SchemeGrid(base ChainConfig, schemes []waveform.Scheme, ues []int) []Scenario {
+	return campaign.SchemeGrid(base, schemes, ues)
+}
+
+// ClusterScaling generates one chain scenario per cluster group count.
+func ClusterScaling(base ChainConfig, groups []int) []Scenario {
+	return campaign.ClusterScaling(base, groups)
+}
+
+// CholScheduleSweep generates one use-case scenario per Cholesky batch
+// depth.
+func CholScheduleSweep(base UseCaseConfig, perRound []int) []Scenario {
+	return campaign.CholScheduleSweep(base, perRound)
+}
+
+// RunCampaign executes the scenarios and returns results in scenario
+// order.
+func RunCampaign(r *Runner, scenarios []Scenario) []CampaignResult {
+	return r.Run(scenarios)
+}
+
+// WriteCampaignJSONL executes the scenarios and writes one JSON line per
+// result, deterministically across runs and worker counts.
+func WriteCampaignJSONL(w io.Writer, r *Runner, scenarios []Scenario) error {
+	return r.WriteJSONL(w, scenarios)
+}

@@ -1,10 +1,14 @@
 // Package pusch is the public entry point to the PUSCH lower-PHY
 // reproduction: the Table I / Fig. 3 complexity model, the end-to-end
-// functional receive chain on the cluster simulator, and the Fig. 9c
-// use-case runner.
+// functional receive chain on the cluster simulator (as a whole or as
+// its three separately callable stages), the Fig. 9c use-case runner,
+// and the campaign engine that sweeps families of scenarios in parallel.
 package pusch
 
-import "repro/internal/pusch"
+import (
+	"repro/internal/engine"
+	"repro/internal/pusch"
+)
 
 type (
 	// Dims captures a PUSCH allocation's air-interface dimensions.
@@ -21,6 +25,12 @@ type (
 	UseCaseResult = pusch.UseCaseResult
 	// KernelTiming is one kernel's share of the use-case budget.
 	KernelTiming = pusch.KernelTiming
+	// SlotTX is the host-side transmit stage of one slot.
+	SlotTX = pusch.SlotTX
+	// Pipeline is the receive-side kernel stage, run symbol by symbol.
+	Pipeline = pusch.Pipeline
+	// LinkMetrics is the host-side scoring stage.
+	LinkMetrics = pusch.LinkMetrics
 )
 
 // Chain stages in processing order.
@@ -44,8 +54,20 @@ func Fig3Table(nls []int) string { return pusch.Fig3Table(nls) }
 // RunChain executes the full functional receive chain.
 func RunChain(cfg ChainConfig) (*ChainResult, error) { return pusch.RunChain(cfg) }
 
+// RunChainOn executes the receive chain on a caller-supplied (fresh or
+// Reset) machine, enabling machine reuse across runs.
+func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
+	return pusch.RunChainOn(m, cfg)
+}
+
 // RunUseCase executes the Fig. 9c slot-budget experiment.
 func RunUseCase(cfg UseCaseConfig) (*UseCaseResult, error) { return pusch.RunUseCase(cfg) }
+
+// RunUseCaseOn executes the Fig. 9c experiment with machines drawn from
+// the given pool (nil builds them fresh).
+func RunUseCaseOn(pool *engine.Machines, cfg UseCaseConfig) (*UseCaseResult, error) {
+	return pusch.RunUseCaseOn(pool, cfg)
+}
 
 // DefaultUseCase returns the paper's TeraPool use-case configuration.
 func DefaultUseCase() UseCaseConfig { return pusch.DefaultUseCase() }

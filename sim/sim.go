@@ -54,8 +54,13 @@ func TeraPool() *Config { return arch.TeraPool() }
 
 // Engine types.
 type (
-	// Machine is one simulated cluster.
+	// Machine is one simulated cluster. Machine.Reset returns it to the
+	// just-constructed state for reuse across independent runs.
 	Machine = engine.Machine
+	// Machines is a concurrency-safe pool of reusable Machine instances
+	// keyed by cluster configuration, for sweeps that run many
+	// experiments without reallocating the multi-MiB L1 arena each time.
+	Machines = engine.Machines
 	// Job is a fork-join task over a fixed core set.
 	Job = engine.Job
 	// Phase is one barrier-delimited section of a Job.
@@ -82,6 +87,9 @@ type (
 
 // NewMachine builds a simulated cluster; it panics on invalid configs.
 func NewMachine(cfg *Config) *Machine { return engine.NewMachine(cfg) }
+
+// NewMachines returns an empty reusable-machine pool.
+func NewMachines() *Machines { return engine.NewMachines() }
 
 // Speedup returns serial.Wall / parallel.Wall.
 func Speedup(serial, parallel Report) float64 { return engine.Speedup(serial, parallel) }

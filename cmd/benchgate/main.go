@@ -1,0 +1,94 @@
+// Command benchgate is the deterministic cycle-regression gate: it runs
+// the quick experiment subset (or loads a previously emitted document)
+// and diffs it, record by record and cycle by cycle, against the
+// committed baseline. Because the simulator is bit-reproducible, the
+// comparison is exact — any drift is a real performance change, so the
+// gate fails on a single cycle of difference in either direction.
+//
+// Usage:
+//
+//	benchgate [-baseline testdata/baseline_kernels.json]
+//	          [-fresh BENCH.json] [-out BENCH_2026-07-26.json]
+//
+// With no -fresh, benchgate runs the quick subset itself. -out
+// additionally writes the fresh document (the CI workflow uploads it as
+// the per-commit benchmark artifact).
+//
+// Exit status: 0 when the tree reproduces the baseline exactly, 1 on
+// drift (the report distinguishes regressions from improvements — both
+// gate, because baselines must be regenerated deliberately with
+// `go run ./cmd/kernelbench -update-baseline`), 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	baselinePath := flag.String("baseline", "testdata/baseline_kernels.json",
+		"committed baseline document to gate against")
+	freshPath := flag.String("fresh", "",
+		"compare this previously emitted document instead of running the quick subset")
+	outPath := flag.String("out", "", "also write the fresh document to this file")
+	flag.Parse()
+
+	base, err := report.Load(*baselinePath)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	var fresh *report.Document
+	if *freshPath != "" {
+		fresh, err = report.Load(*freshPath)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	} else {
+		records, errs := bench.RunExperiments(bench.QuickExperiments())
+		for _, err := range errs {
+			log.Print(err)
+		}
+		if len(errs) > 0 {
+			os.Exit(2)
+		}
+		fresh = report.NewDocument("benchgate")
+		fresh.Kernels = records
+	}
+
+	if *outPath != "" {
+		if err := fresh.WriteFile(*outPath); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	}
+
+	drifts := report.Diff(base, fresh)
+	if len(drifts) == 0 {
+		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle\n",
+			len(fresh.Kernels), *baselinePath)
+		return
+	}
+	regressions := 0
+	for _, d := range drifts {
+		tag := "drift     "
+		if d.Regression() {
+			tag = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%s  %s\n", tag, d)
+	}
+	fmt.Printf("benchgate: FAIL — %d drifting records (%d regressions) against %s\n",
+		len(drifts), regressions, *baselinePath)
+	fmt.Println("benchgate: if the change is intentional, regenerate with: go run ./cmd/kernelbench -update-baseline")
+	os.Exit(1)
+}

@@ -1,13 +1,23 @@
 // Command kernelbench regenerates the kernel-level evaluation of the
 // paper: Fig. 8 (IPC and stall breakdowns for FFT, MMM and Cholesky on
-// MemPool and TeraPool) and Fig. 9a-b (speedups and cycle counts against
-// a serial single-core baseline), plus the design ablations called out
-// in DESIGN.md (MMM window shapes, FFT data layout).
+// MemPool and TeraPool), Fig. 9a-b (speedups and cycle counts against a
+// serial single-core baseline), the cluster-scaling curve, and the
+// design ablations called out in DESIGN.md (MMM window shapes, FFT data
+// layout).
+//
+// Results are typed telemetry records (internal/report); -json emits
+// them as a deterministic benchmark document that cmd/benchgate diffs
+// against the committed baselines.
 //
 // Usage:
 //
-//	kernelbench [-cluster mempool|terapool|both] [-kernel fft|mmm|chol|all]
-//	            [-ablate none|window|layout] [-headline]
+//	kernelbench [-cluster mempool|terapool|both] [-kernel fft|mmm|chol|scaling|all]
+//	            [-quick] [-json] [-o file] [-headline]
+//	            [-ablate none|window|layout|cholpipe]
+//	kernelbench -update-baseline [-baseline testdata/baseline_kernels.json]
+//
+// kernelbench exits non-zero when any experiment fails; the remaining
+// experiments still run and report.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"os"
 
 	"repro/internal/arch"
 	"repro/internal/bench"
@@ -24,95 +35,115 @@ import (
 	"repro/internal/kernels/fft"
 	"repro/internal/kernels/mmm"
 	"repro/internal/phy"
+	"repro/internal/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kernelbench: ")
 	clusterFlag := flag.String("cluster", "both", "mempool, terapool or both")
-	kernelFlag := flag.String("kernel", "all", "fft, mmm, chol or all")
+	kernelFlag := flag.String("kernel", "all", "fft, mmm, chol, scaling or all")
+	quick := flag.Bool("quick", false, "run only the quick CI-gate subset")
+	jsonOut := flag.Bool("json", false, "emit the benchmark document as JSON instead of tables")
+	outPath := flag.String("o", "", "write the JSON document to this file instead of stdout (implies -json)")
+	updateBaseline := flag.Bool("update-baseline", false,
+		"run the quick gate subset and rewrite the committed baseline document")
+	baselinePath := flag.String("baseline", "testdata/baseline_kernels.json",
+		"baseline document path used by -update-baseline")
 	ablateFlag := flag.String("ablate", "none", "none, window (MMM block shapes), layout (FFT folding) or cholpipe (software-pipelined Cholesky pairs)")
 	headline := flag.Bool("headline", false, "print only the headline speedup/utilization summary")
 	flag.Parse()
 
-	var clusters []*arch.Config
-	switch *clusterFlag {
-	case "mempool":
-		clusters = []*arch.Config{arch.MemPool()}
-	case "terapool":
-		clusters = []*arch.Config{arch.TeraPool()}
-	case "both":
-		clusters = []*arch.Config{arch.MemPool(), arch.TeraPool()}
-	default:
-		log.Fatalf("unknown cluster %q", *clusterFlag)
+	if *ablateFlag != "none" {
+		// Ablations run on the first selected cluster (MemPool when the
+		// flag is "both"), as before the registry refactor.
+		var cfg *arch.Config
+		switch *clusterFlag {
+		case "mempool", "both":
+			cfg = arch.MemPool()
+		case "terapool":
+			cfg = arch.TeraPool()
+		default:
+			log.Fatalf("unknown cluster %q (want mempool, terapool or both)", *clusterFlag)
+		}
+		switch *ablateFlag {
+		case "window":
+			ablateWindow(cfg)
+		case "layout":
+			ablateLayout(cfg)
+		case "cholpipe":
+			ablateCholPipe(cfg)
+		default:
+			log.Fatalf("unknown ablation %q", *ablateFlag)
+		}
+		return
 	}
 
-	switch *ablateFlag {
-	case "none":
-	case "window":
-		ablateWindow(clusters[0])
+	if *updateBaseline {
+		// The baseline is always the full quick-gate subset, so the
+		// committed document and the CI gate can never disagree about
+		// the experiment set; narrowing flags do not apply here.
+		if *clusterFlag != "both" || *kernelFlag != "all" || *quick {
+			log.Print("note: -update-baseline ignores -cluster/-kernel/-quick and regenerates the whole quick subset")
+		}
+		records, errs := bench.RunExperiments(bench.QuickExperiments())
+		exitOnErrors(errs)
+		doc := report.NewDocument("kernelbench")
+		doc.Kernels = records
+		if err := doc.WriteFile(*baselinePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d baseline records to %s\n", len(records), *baselinePath)
 		return
-	case "layout":
-		ablateLayout(clusters[0])
-		return
-	case "cholpipe":
-		ablateCholPipe(clusters[0])
-		return
-	default:
-		log.Fatalf("unknown ablation %q", *ablateFlag)
 	}
 
-	want := func(k string) bool { return *kernelFlag == "all" || *kernelFlag == k }
-
-	var results []*bench.Result
-	for _, cfg := range clusters {
-		if want("fft") {
-			for _, fc := range bench.PaperFFTConfigs(cfg) {
-				r, err := bench.RunFFT(cfg, fc)
-				if err != nil {
-					log.Fatalf("fft %s on %s: %v", fc.Label, cfg.Name, err)
-				}
-				results = append(results, r)
-			}
-		}
-		if want("mmm") {
-			for _, mc := range bench.PaperMMMConfigs() {
-				r, err := bench.RunMMM(cfg, mc)
-				if err != nil {
-					log.Fatalf("mmm %s on %s: %v", mc.Label, cfg.Name, err)
-				}
-				results = append(results, r)
-			}
-		}
-		if want("chol") {
-			for _, cc := range bench.PaperCholConfigs(cfg) {
-				r, err := bench.RunChol(cfg, cc)
-				if err != nil {
-					log.Fatalf("chol %s on %s: %v", cc.Label, cfg.Name, err)
-				}
-				results = append(results, r)
-			}
-		}
+	exps, err := bench.Experiments(*clusterFlag, *kernelFlag, *quick)
+	if err != nil {
+		log.Fatal(err)
 	}
+	records, errs := bench.RunExperiments(exps)
 
-	if *headline {
+	switch {
+	case *jsonOut || *outPath != "":
+		doc := report.NewDocument("kernelbench")
+		doc.Kernels = records
+		if *outPath != "" {
+			if err := doc.WriteFile(*outPath); err != nil {
+				log.Fatal(err)
+			}
+		} else if err := doc.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case *headline:
 		fmt.Println("Headline kernel results (paper: MemPool 211/225/158 @ 0.81/0.89/0.71; TeraPool 762/880/722 @ 0.74/0.88/0.71):")
-		for _, r := range results {
-			fmt.Println("  " + bench.Fig9Row(r))
+		for i := range records {
+			fmt.Println("  " + records[i].Fig9Row())
 		}
-		return
+	default:
+		fmt.Println("Fig. 8 — IPC and stall breakdown per kernel configuration")
+		fmt.Println(report.Header())
+		for i := range records {
+			fmt.Println(records[i].Fig8Row())
+		}
+		fmt.Println()
+		fmt.Println("Fig. 9a-b — speedup and cycles versus serial single-core execution")
+		fmt.Println(report.Header())
+		for i := range records {
+			fmt.Println(records[i].Fig9Row())
+		}
 	}
+	exitOnErrors(errs)
+}
 
-	fmt.Println("Fig. 8 — IPC and stall breakdown per kernel configuration")
-	fmt.Println(bench.Header())
-	for _, r := range results {
-		fmt.Println(bench.Fig8Row(r))
+// exitOnErrors reports every failed experiment and exits non-zero if
+// there was at least one, so CI cannot mistake a partial run for a
+// clean one.
+func exitOnErrors(errs []error) {
+	for _, err := range errs {
+		log.Print(err)
 	}
-	fmt.Println()
-	fmt.Println("Fig. 9a-b — speedup and cycles versus serial single-core execution")
-	fmt.Println(bench.Header())
-	for _, r := range results {
-		fmt.Println(bench.Fig9Row(r))
+	if len(errs) > 0 {
+		os.Exit(1)
 	}
 }
 

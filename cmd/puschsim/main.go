@@ -32,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/report"
 	"repro/pusch"
 	"repro/sim"
 	"repro/waveform"
@@ -46,6 +47,7 @@ func main() {
 	fullMIMO := flag.Bool("full-mimo", false, "time the complete MIMO stage (Gramian+Cholesky+solves) instead of bare decompositions")
 	chain := flag.Bool("chain", false, "run the functional end-to-end chain instead of the Fig. 9c budget")
 	snr := flag.Float64("snr", 26, "chain mode: SNR in dB")
+	jsonOut := flag.Bool("json", false, "emit the Fig. 9c result as a typed JSON slot record instead of tables")
 	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters or chol")
 	snrMin := flag.Float64("snr-min", 8, "campaign snr: first SNR point in dB")
 	snrMax := flag.Float64("snr-max", 26, "campaign snr: last SNR point in dB")
@@ -89,6 +91,15 @@ func main() {
 	res, err := pusch.RunUseCase(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		doc := report.NewDocument("puschsim")
+		doc.Slots = []report.SlotRecord{res.Record(cfg)}
+		if err := doc.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("Fig. 9c use case on %s (14 symbols, 64 antennas, 32 beams, 4 UEs, %d Chol/barrier)\n",

@@ -20,9 +20,13 @@
 //   - waveform, fixedpoint: the transmit/channel substrate and the
 //     packed Q1.15 arithmetic;
 //   - cmd/complexity, cmd/kernelbench, cmd/puschsim: binaries that
-//     regenerate every table and figure of the paper's evaluation.
+//     regenerate every table and figure of the paper's evaluation,
+//     emitting typed telemetry records (internal/report) as JSON;
+//   - cmd/benchgate: the deterministic cycle-regression gate that diffs
+//     a fresh run against the committed testdata/baseline_*.json.
 //
 // The benchmarks in bench_test.go wrap the same experiments as testing.B
 // benchmarks; see EXPERIMENTS.md for measured-versus-paper numbers and
-// README.md for the quickstart and the campaign-mode walkthrough.
+// README.md for the quickstart, the campaign-mode walkthrough and the
+// perf-telemetry / regression-gate guide.
 package repro

@@ -62,7 +62,7 @@ func main() {
 	}
 
 	fmt.Printf("simulated %d cycles on %d lanes\n", rep.Wall, plan.Lanes)
-	fmt.Printf("IPC %.2f, breakdown: %s\n", rep.IPC(), rep.BreakdownString())
+	fmt.Printf("IPC %.2f, breakdown: %s\n", rep.IPC(), sim.NewBreakdown(rep))
 
 	// The tracer shows each lane computing ('#') and waiting at the
 	// inter-stage barriers ('.').

@@ -8,7 +8,6 @@ package bench
 import (
 	"fmt"
 	"math/rand/v2"
-	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/engine"
@@ -17,11 +16,13 @@ import (
 	"repro/internal/kernels/fft"
 	"repro/internal/kernels/mmm"
 	"repro/internal/phy"
+	"repro/internal/report"
 )
 
 // Result is one kernel configuration's measurement.
 type Result struct {
 	Label     string
+	Kernel    string // kernel family: "fft", "mmm" or "chol"
 	Cluster   string
 	CoresUsed int
 
@@ -31,6 +32,23 @@ type Result struct {
 	// factor is exact because the serial kernel is loop-invariant).
 	SerialWall int64
 	SerialIPC  float64
+}
+
+// Record converts the measurement into its typed telemetry record, the
+// unit cmd/kernelbench emits as JSON and cmd/benchgate diffs against the
+// committed baselines.
+func (r *Result) Record() report.KernelRecord {
+	return report.KernelRecord{
+		Kernel:       r.Kernel,
+		Label:        r.Label,
+		Cluster:      r.Cluster,
+		CoresUsed:    r.CoresUsed,
+		Parallel:     report.NewWindow(r.Parallel),
+		SerialCycles: r.SerialWall,
+		SerialIPC:    r.SerialIPC,
+		Speedup:      r.Speedup(),
+		Utilization:  r.Utilization(),
+	}
 }
 
 // Speedup returns the Fig. 9 speedup.
@@ -61,9 +79,10 @@ func deepen(cfg *arch.Config, need int) *arch.Config {
 	return &c
 }
 
-// measureWarm runs fn twice and reports the warm second pass over all
-// cluster cores.
-func measureWarm(m *engine.Machine, name string, fn func() error) (engine.Report, error) {
+// measureWarm runs fn twice and reports the warm second pass over the
+// given cores (nil = the whole cluster; serial baselines pass core0 so
+// idle cores do not dilute the wall window or the stall totals).
+func measureWarm(m *engine.Machine, name string, cores []int, fn func() error) (engine.Report, error) {
 	if err := fn(); err != nil {
 		return engine.Report{}, err
 	}
@@ -72,9 +91,14 @@ func measureWarm(m *engine.Machine, name string, fn func() error) (engine.Report
 	if err := fn(); err != nil {
 		return engine.Report{}, err
 	}
-	rep := m.ReportSince(mark, name, nil)
+	rep := m.ReportSince(mark, name, cores)
 	return rep, nil
 }
+
+// core0 scopes a serial-baseline measurement to the core actually
+// executing it: with nil (whole-cluster) scoping the wall window and
+// stall totals include every idle core, which skews serial IPC.
+var core0 = []int{0}
 
 func randC15(rng *rand.Rand, n int) []fixed.C15 {
 	out := make([]fixed.C15, n)
@@ -123,7 +147,7 @@ func RunFFT(cfg *arch.Config, fc FFTConfig) (*Result, error) {
 			}
 		}
 	}
-	par, err := measureWarm(mach, "fft", pl.Run)
+	par, err := measureWarm(mach, "fft", nil, pl.Run)
 	if err != nil {
 		return nil, err
 	}
@@ -136,27 +160,19 @@ func RunFFT(cfg *arch.Config, fc FFTConfig) (*Result, error) {
 	if err := sp.WriteInput(randC15(rng, fc.N)); err != nil {
 		return nil, err
 	}
-	ser, err := measureWarm(ms, "fft-serial", sp.Run)
+	ser, err := measureWarm(ms, "fft-serial", core0, sp.Run)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Label:      fc.Label,
+		Kernel:     "fft",
 		Cluster:    cfg.Name,
 		CoresUsed:  pl.Jobs * pl.Lanes,
 		Parallel:   par,
 		SerialWall: ser.Wall * int64(fc.Count),
-		SerialIPC:  serialIPC(ser),
+		SerialIPC:  ser.IPC(),
 	}, nil
-}
-
-// serialIPC recomputes IPC over one core (ReportSince with nil cores
-// averages over the whole cluster).
-func serialIPC(rep engine.Report) float64 {
-	if rep.Wall == 0 {
-		return 0
-	}
-	return float64(rep.Stats.Instrs) / float64(rep.Wall)
 }
 
 // MMMConfig names one Fig. 8b / Fig. 9 MMM experiment.
@@ -194,7 +210,7 @@ func RunMMM(cfg *arch.Config, mc MMMConfig) (*Result, error) {
 	if err := pl.WriteB(b); err != nil {
 		return nil, err
 	}
-	par, err := measureWarm(mach, "mmm", pl.Run)
+	par, err := measureWarm(mach, "mmm", nil, pl.Run)
 	if err != nil {
 		return nil, err
 	}
@@ -216,14 +232,15 @@ func RunMMM(cfg *arch.Config, mc MMMConfig) (*Result, error) {
 	if err := sp.Run(); err != nil {
 		return nil, err
 	}
-	ser := ms.ReportSince(mark, "mmm-serial", []int{0})
+	ser := ms.ReportSince(mark, "mmm-serial", core0)
 	return &Result{
 		Label:      mc.Label,
+		Kernel:     "mmm",
 		Cluster:    cfg.Name,
 		CoresUsed:  cluster.NumCores(),
 		Parallel:   par,
 		SerialWall: ser.Wall,
-		SerialIPC:  serialIPC(ser),
+		SerialIPC:  ser.IPC(),
 	}, nil
 }
 
@@ -282,7 +299,7 @@ func RunChol(cfg *arch.Config, cc CholConfig) (*Result, error) {
 				}
 			}
 		}
-		par, err = measureWarm(mach, "chol-pair", pl.Run)
+		par, err = measureWarm(mach, "chol-pair", nil, pl.Run)
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +320,7 @@ func RunChol(cfg *arch.Config, cc CholConfig) (*Result, error) {
 				}
 			}
 		}
-		par, err = measureWarm(mach, "chol-rep", pl.Run)
+		par, err = measureWarm(mach, "chol-rep", nil, pl.Run)
 		if err != nil {
 			return nil, err
 		}
@@ -324,37 +341,19 @@ func RunChol(cfg *arch.Config, cc CholConfig) (*Result, error) {
 			return nil, err
 		}
 	}
-	ser, err := measureWarm(ms, "chol-serial", sp.Run)
+	ser, err := measureWarm(ms, "chol-serial", core0, sp.Run)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Label:      cc.Label,
+		Kernel:     "chol",
 		Cluster:    cfg.Name,
 		CoresUsed:  coresUsed,
 		Parallel:   par,
 		SerialWall: ser.Wall * int64(totalDecs) / serialBatch,
-		SerialIPC:  serialIPC(ser),
+		SerialIPC:  ser.IPC(),
 	}, nil
-}
-
-// Fig8Row renders one result as a Fig. 8 style line: IPC plus the stall
-// breakdown.
-func Fig8Row(r *Result) string {
-	return fmt.Sprintf("%-24s %-9s IPC %.2f (serial %.2f)  %s",
-		r.Label, r.Cluster, r.Parallel.IPC(), r.SerialIPC, r.Parallel.BreakdownString())
-}
-
-// Fig9Row renders one result as a Fig. 9 style line: speedup, cycle
-// count, utilization and the theoretical limit.
-func Fig9Row(r *Result) string {
-	return fmt.Sprintf("%-24s %-9s speedup %6.1f / limit %4d  util %.2f  cycles %9d  MACs/cyc %7.1f",
-		r.Label, r.Cluster, r.Speedup(), r.CoresUsed, r.Utilization(), r.Parallel.Wall, r.Parallel.MACsPerCycle())
-}
-
-// Header returns the column legend for the row renderers.
-func Header() string {
-	return strings.Repeat("-", 110)
 }
 
 // RunMMMWindow measures the Section V-B register-blocking ablation: the
@@ -379,12 +378,13 @@ func RunMMMWindow(cfg *arch.Config, idx int) (*Result, error) {
 	if err := pl.WriteB(randC15(rng, n*p)); err != nil {
 		return nil, err
 	}
-	par, err := measureWarm(mach, "mmm-window", pl.Run)
+	par, err := measureWarm(mach, "mmm-window", nil, pl.Run)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Label:      fmt.Sprintf("%dx%d window", w.Rows, w.Cols),
+		Kernel:     "mmm",
 		Cluster:    cfg.Name,
 		CoresUsed:  cfg.NumCores(),
 		Parallel:   par,

@@ -46,12 +46,66 @@ func TestRunFFTSanity(t *testing.T) {
 	if r.SerialIPC <= 0 || r.SerialIPC > 1 {
 		t.Errorf("serial IPC %.2f outside (0,1]", r.SerialIPC)
 	}
-	row := Fig8Row(r)
+	rec := r.Record()
+	if rec.Kernel != "fft" || rec.Cluster != "MemPool" {
+		t.Errorf("record identity = %s/%s", rec.Kernel, rec.Cluster)
+	}
+	if rec.Parallel.Cycles != r.Parallel.Wall || rec.SerialCycles != r.SerialWall {
+		t.Error("record cycles disagree with the result")
+	}
+	row := rec.Fig8Row()
 	if !strings.Contains(row, "MemPool") || !strings.Contains(row, "IPC") {
 		t.Errorf("Fig8Row = %q", row)
 	}
-	if !strings.Contains(Fig9Row(r), "speedup") {
+	if !strings.Contains(rec.Fig9Row(), "speedup") {
 		t.Error("Fig9Row missing speedup")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all, err := Experiments("both", "all", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 paper configs per cluster plus 6 scaling points.
+	if len(all) != 24 {
+		t.Errorf("full set has %d experiments, want 24", len(all))
+	}
+	quick := QuickExperiments()
+	// 3 quick paper configs per cluster plus the 6 scaling points.
+	if len(quick) != 12 {
+		t.Errorf("quick set has %d experiments, want 12", len(quick))
+	}
+	seen := make(map[string]bool)
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := Experiments("gigapool", "all", false); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+	if _, err := Experiments("both", "sort", false); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestExperimentIDMatchesRecordKey(t *testing.T) {
+	exps, err := Experiments("mempool", "chol", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 1 {
+		t.Fatalf("quick mempool chol = %d experiments, want 1", len(exps))
+	}
+	r, err := exps[0].Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := r.Record()
+	if key := rec.Key(); key != exps[0].ID {
+		t.Errorf("record key %q != experiment ID %q", key, exps[0].ID)
 	}
 }
 

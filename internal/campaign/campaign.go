@@ -48,6 +48,11 @@ type Result struct {
 
 	TotalCycles int64   `json:"cycles"`
 	TimeMs      float64 `json:"time_ms"`
+	// PayloadBits and ThroughputGbps are the slot-throughput metrics of
+	// the typed telemetry record: the information payload one slot
+	// carries and the Gb/s it sustains at the nominal 1 GHz clock.
+	PayloadBits    int64   `json:"payload_bits,omitempty"`
+	ThroughputGbps float64 `json:"throughput_gbps,omitempty"`
 	// StageShares maps each stage to its fraction of the run's cycles:
 	// the five chain stages for chain runs, the fft/mmm/chol kernel
 	// split for use-case runs.
@@ -118,6 +123,9 @@ func (s *Scenario) runChain(pool *engine.Machines, seed uint64) Result {
 	res.SigmaEst = cr.SigmaEst
 	res.TotalCycles = cr.TotalCycles
 	res.TimeMs = cr.TimeMs
+	rec := cr.Record(cfg)
+	res.PayloadBits = rec.PayloadBits
+	res.ThroughputGbps = rec.ThroughputGbps
 	if cr.TotalCycles > 0 {
 		res.StageShares = make(map[string]float64, len(cr.Stages))
 		for st, rep := range cr.Stages {
@@ -153,5 +161,8 @@ func (s *Scenario) runUseCase(pool *engine.Machines) Result {
 	res.TotalCycles = ur.TotalCycles
 	res.TimeMs = ur.TimeMs
 	res.StageShares = ur.Shares()
+	rec := ur.Record(cfg)
+	res.PayloadBits = rec.PayloadBits
+	res.ThroughputGbps = rec.ThroughputGbps
 	return res
 }

@@ -199,3 +199,31 @@ func TestScenarioValidation(t *testing.T) {
 		t.Error("double-variant scenario did not error")
 	}
 }
+
+func TestCampaignResultsCarryThroughput(t *testing.T) {
+	chainRes := (&Runner{}).Run(SNRSweep(testBase(), 20, 20, 2))
+	if len(chainRes) != 1 || chainRes[0].Error != "" {
+		t.Fatalf("chain scenario failed: %+v", chainRes)
+	}
+	// 1 data symbol x 64 subcarriers x 2 UEs x 2 bits (QPSK).
+	if want := int64(1 * 64 * 2 * 2); chainRes[0].PayloadBits != want {
+		t.Errorf("chain payload = %d bits, want %d", chainRes[0].PayloadBits, want)
+	}
+	if chainRes[0].ThroughputGbps <= 0 {
+		t.Error("chain throughput not computed")
+	}
+
+	uc := pusch.UseCaseConfig{
+		Cluster: arch.MemPool(),
+		Symbols: 4, DataSymbols: 2,
+		NFFT: 256, NR: 8, NB: 4, NL: 4,
+		CholPerRound: 4,
+	}
+	ucRes := (&Runner{}).Run(CholScheduleSweep(uc, []int{4}))
+	if len(ucRes) != 1 || ucRes[0].Error != "" {
+		t.Fatalf("use-case scenario failed: %+v", ucRes)
+	}
+	if ucRes[0].PayloadBits <= 0 || ucRes[0].ThroughputGbps <= 0 {
+		t.Errorf("use-case throughput missing: %+v", ucRes[0])
+	}
+}

@@ -680,8 +680,8 @@ func TestReportRendering(t *testing.T) {
 	if s := rep.String(); !strings.Contains(s, "IPC") {
 		t.Errorf("Report.String = %q", s)
 	}
-	if s := rep.BreakdownString(); !strings.Contains(s, "icache") {
-		t.Errorf("BreakdownString = %q", s)
+	if b := rep.StallBreakdown(); len(b) != 6 {
+		t.Errorf("StallBreakdown has %d buckets, want 6", len(b))
 	}
 	if ts := m.TotalStats(); ts.Instrs == 0 {
 		t.Error("TotalStats empty")

@@ -1,9 +1,6 @@
 package engine
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // Mark is a snapshot of machine state used to measure a window of
 // execution: take one before running a workload, then build a Report
@@ -132,13 +129,6 @@ func (r Report) String() string {
 		r.Name, r.Cores, r.Wall, r.Stats.Instrs, r.IPC(), r.MACsPerCycle())
 }
 
-// BreakdownString renders the stall breakdown as a fixed-order table row.
-func (r Report) BreakdownString() string {
-	b := r.StallBreakdown()
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "instr %5.1f%%", b["instr"]*100)
-	for _, k := range []string{"raw", "lsu", "wfi", "ext", "icache"} {
-		fmt.Fprintf(&sb, "  %s %5.1f%%", k, b[k]*100)
-	}
-	return sb.String()
-}
+// The stall-breakdown string rendering lives in internal/report
+// (report.NewBreakdown(r).String()), alongside the rest of the typed
+// telemetry records.

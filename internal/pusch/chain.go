@@ -3,11 +3,13 @@ package pusch
 import (
 	"fmt"
 	"math/rand/v2"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/fixed"
 	"repro/internal/kernels/chest"
+	"repro/internal/report"
 	"repro/internal/waveform"
 )
 
@@ -49,6 +51,50 @@ type ChainResult struct {
 	// Stage reports aggregate cycles and stalls per chain stage across
 	// all symbols.
 	Stages map[Stage]engine.Report
+}
+
+// Record converts the result into its typed telemetry record: one
+// SlotPhase per chain stage in processing order, plus the payload
+// throughput the run's dimensions and modulation scheme sustain at the
+// nominal 1 GHz clock.
+func (r *ChainResult) Record(cfg ChainConfig) report.SlotRecord {
+	cfg.setDefaults()
+	dims := Dims{NSC: cfg.NSC, NSymb: cfg.NSymb, NPilot: cfg.NPilot, NR: cfg.NR, NB: cfg.NB, NL: cfg.NL}
+	bits := dims.PayloadBits(cfg.Scheme.BitsPerSymbol())
+	var phases []report.SlotPhase
+	for _, st := range Stages {
+		rep, ok := r.Stages[st]
+		if !ok {
+			continue
+		}
+		var share float64
+		if r.TotalCycles > 0 {
+			share = float64(rep.Wall) / float64(r.TotalCycles)
+		}
+		phases = append(phases, report.SlotPhase{
+			Name:         string(st),
+			PerPass:      rep.Wall,
+			Passes:       1,
+			Cycles:       rep.Wall,
+			Share:        share,
+			IPC:          rep.IPC(),
+			MACsPerCycle: rep.MACsPerCycle(),
+		})
+	}
+	return report.SlotRecord{
+		Kind:           "chain",
+		Cluster:        cfg.Cluster.Name,
+		Cores:          cfg.Cluster.NumCores(),
+		UEs:            cfg.NL,
+		Scheme:         strings.ToLower(cfg.Scheme.String()),
+		Phases:         phases,
+		TotalCycles:    r.TotalCycles,
+		TimeMs:         r.TimeMs,
+		PayloadBits:    bits,
+		ThroughputGbps: report.Gbps(bits, r.TotalCycles),
+		BER:            r.BER,
+		EVMdB:          r.EVMdB,
+	}
 }
 
 func (c *ChainConfig) setDefaults() {

@@ -67,6 +67,15 @@ func (d Dims) MACs() map[Stage]float64 {
 	}
 }
 
+// PayloadBits returns the information payload one slot carries at these
+// dimensions: every data symbol's allocated subcarriers across all
+// spatial layers, at bitsPerSymbol bits per constellation point. This is
+// the numerator of the slot-throughput figure the SDR follow-up papers
+// report in Gb/s.
+func (d Dims) PayloadBits(bitsPerSymbol int) int64 {
+	return int64(d.NSymb-d.NPilot) * int64(d.NSC) * int64(d.NL) * int64(bitsPerSymbol)
+}
+
 // TotalMACs sums Table I over the stages.
 func (d Dims) TotalMACs() float64 {
 	var t float64

@@ -332,3 +332,91 @@ func TestChainInterpolationHelps(t *testing.T) {
 	}
 	t.Logf("EVM nearest %.2f dB, interpolated %.2f dB", nearest, interp)
 }
+
+func TestPayloadBits(t *testing.T) {
+	// Reference allocation: 12 data symbols x 3276 subcarriers x 4 UEs
+	// at 4 bits/symbol (16-QAM).
+	d := UseCaseDims(4)
+	want := int64(12) * 3276 * 4 * 4
+	if got := d.PayloadBits(4); got != want {
+		t.Errorf("PayloadBits(4) = %d, want %d", got, want)
+	}
+	if got := d.PayloadBits(2); got != want/2 {
+		t.Errorf("PayloadBits(2) = %d, want %d", got, want/2)
+	}
+}
+
+func TestChainRecord(t *testing.T) {
+	cfg := ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     256, NR: 16, NB: 8, NL: 4,
+		NSymb: 4, NPilot: 2,
+		Scheme: waveform.QPSK,
+		SNRdB:  28,
+		Seed:   7,
+	}
+	res, err := RunChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Record(cfg)
+	if rec.Kind != "chain" || rec.Cluster != "MemPool" || rec.Scheme != "qpsk" {
+		t.Errorf("record identity = %s/%s/%s", rec.Kind, rec.Cluster, rec.Scheme)
+	}
+	if len(rec.Phases) != len(Stages) {
+		t.Errorf("%d phases, want %d", len(rec.Phases), len(Stages))
+	}
+	if rec.Phases[0].Name != string(StageOFDM) {
+		t.Errorf("first phase %q, want OFDM", rec.Phases[0].Name)
+	}
+	// 2 data symbols x 256 subcarriers x 4 UEs x 2 bits (QPSK).
+	if want := int64(2 * 256 * 4 * 2); rec.PayloadBits != want {
+		t.Errorf("payload = %d bits, want %d", rec.PayloadBits, want)
+	}
+	if rec.ThroughputGbps <= 0 || rec.TotalCycles != res.TotalCycles {
+		t.Errorf("throughput %g Gb/s over %d cycles", rec.ThroughputGbps, rec.TotalCycles)
+	}
+	var shares float64
+	for _, p := range rec.Phases {
+		shares += p.Share
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("phase shares sum to %g, want 1", shares)
+	}
+}
+
+func TestUseCaseRecord(t *testing.T) {
+	cfg := UseCaseConfig{
+		Cluster:      arch.MemPool(),
+		Symbols:      14,
+		DataSymbols:  12,
+		NFFT:         1024,
+		NR:           16,
+		NB:           8,
+		NL:           4,
+		CholPerRound: 4,
+		WithSerial:   true,
+	}
+	res, err := RunUseCase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Record(cfg)
+	if rec.Kind != "usecase" || rec.CholPerRound != 4 || rec.UEs != 4 {
+		t.Errorf("record identity = %+v", rec)
+	}
+	if len(rec.Phases) != 3 || rec.Phases[0].Name != "OFDM FFT" {
+		t.Errorf("phases = %+v", rec.Phases)
+	}
+	if rec.TotalCycles != res.TotalCycles || rec.SerialCycles != res.SerialCycles {
+		t.Error("record cycles disagree with the result")
+	}
+	// 16-QAM payload over the allocated share of the scaled FFT:
+	// 1024-point FFT keeps the reference 3276/4096 allocation ratio.
+	if want := int64(12) * (1024 * 3276 / 4096) * 4 * 4; rec.PayloadBits != want {
+		t.Errorf("payload = %d bits, want %d", rec.PayloadBits, want)
+	}
+	if rec.ThroughputGbps <= 0 || rec.Speedup != res.Speedup {
+		t.Errorf("throughput %g, speedup %g", rec.ThroughputGbps, rec.Speedup)
+	}
+}

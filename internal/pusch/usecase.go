@@ -11,6 +11,7 @@ import (
 	"repro/internal/kernels/fft"
 	"repro/internal/kernels/mimo"
 	"repro/internal/kernels/mmm"
+	"repro/internal/report"
 )
 
 // UseCaseConfig parameterizes the Fig. 9c experiment: the Section II
@@ -73,6 +74,50 @@ func (r *UseCaseResult) Shares() map[string]float64 {
 		"fft":  float64(r.FFT.Total) / t,
 		"mmm":  float64(r.MMM.Total) / t,
 		"chol": float64(r.Chol.Total) / t,
+	}
+}
+
+// Record converts the result into its typed telemetry record. The
+// throughput figure assumes 16-QAM payload (the operating point of the
+// TeraPool SDR follow-up) over the allocated share of the FFT: the
+// paper's reference slot allocates 3276 of the 4096 bins, and scaled
+// configurations keep that ratio.
+func (r *UseCaseResult) Record(cfg UseCaseConfig) report.SlotRecord {
+	const bitsPerSymbol = 4 // 16-QAM
+	dims := UseCaseDims(cfg.NL)
+	dims.NSC = cfg.NFFT * dims.NSC / 4096
+	dims.NSymb, dims.NPilot = cfg.Symbols, cfg.Symbols-cfg.DataSymbols
+	bits := dims.PayloadBits(bitsPerSymbol)
+	shares := r.Shares()
+	phase := func(k KernelTiming, share float64) report.SlotPhase {
+		return report.SlotPhase{
+			Name:         k.Name,
+			PerPass:      k.PerPass,
+			Passes:       k.Passes,
+			Cycles:       k.Total,
+			Share:        share,
+			IPC:          k.IPC,
+			MACsPerCycle: k.MACsPerC,
+		}
+	}
+	return report.SlotRecord{
+		Kind:         "usecase",
+		Cluster:      cfg.Cluster.Name,
+		Cores:        cfg.Cluster.NumCores(),
+		UEs:          cfg.NL,
+		Scheme:       "16qam",
+		CholPerRound: cfg.CholPerRound,
+		Phases: []report.SlotPhase{
+			phase(r.FFT, shares["fft"]),
+			phase(r.MMM, shares["mmm"]),
+			phase(r.Chol, shares["chol"]),
+		},
+		TotalCycles:    r.TotalCycles,
+		TimeMs:         r.TimeMs,
+		PayloadBits:    bits,
+		ThroughputGbps: report.Gbps(bits, r.TotalCycles),
+		SerialCycles:   r.SerialCycles,
+		Speedup:        r.Speedup,
 	}
 }
 

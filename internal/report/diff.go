@@ -1,0 +1,113 @@
+package report
+
+import "fmt"
+
+// Drift is one exact mismatch between a baseline document and a fresh
+// run. Because the engine replays deterministically, any drift is a real
+// performance change (or a changed experiment set), never noise.
+type Drift struct {
+	// Key identifies the record (KernelRecord.Key or SlotRecord.Key).
+	Key string
+	// Field names the compared quantity ("cycles", "serial_cycles",
+	// "cores_used"), "missing"/"unexpected" when a record exists on only
+	// one side, or "duplicate" when one document holds two records with
+	// the same key (the comparison would be ambiguous).
+	Field string
+	// Base and Fresh are the two values; zero when Field is
+	// missing/unexpected.
+	Base  int64
+	Fresh int64
+}
+
+// String renders the drift as one human-readable gate line.
+func (d Drift) String() string {
+	switch d.Field {
+	case "missing":
+		return fmt.Sprintf("%-40s missing from the fresh run (present in baseline)", d.Key)
+	case "unexpected":
+		return fmt.Sprintf("%-40s not in the baseline (regenerate it to admit new experiments)", d.Key)
+	case "duplicate":
+		return fmt.Sprintf("%-40s appears more than once in one document (ambiguous comparison)", d.Key)
+	}
+	delta := d.Fresh - d.Base
+	return fmt.Sprintf("%-40s %-13s %12d -> %-12d (%+d cycles, %+.2f%%)",
+		d.Key, d.Field, d.Base, d.Fresh, delta, 100*float64(delta)/float64(max(d.Base, 1)))
+}
+
+// Regression reports whether the drift is a slowdown (more cycles than
+// the baseline). Improvements and set changes still gate — the baseline
+// must be regenerated deliberately — but the distinction matters in the
+// failure message.
+func (d Drift) Regression() bool {
+	return d.Field != "missing" && d.Field != "unexpected" && d.Fresh > d.Base
+}
+
+// Diff compares a fresh document against a baseline, record by record,
+// and returns every exact mismatch in baseline order (fresh-only records
+// last). Records are matched by Key; a key occurring twice inside one
+// document is reported as a "duplicate" drift, since the comparison
+// would be ambiguous. An empty result means the tree reproduces the
+// baseline cycle for cycle.
+func Diff(base, fresh *Document) []Drift {
+	var drifts []Drift
+	drifts = diffRecords(drifts, base.Kernels, fresh.Kernels, (*KernelRecord).Key,
+		func(drifts []Drift, key string, b, f *KernelRecord) []Drift {
+			drifts = appendInt(drifts, key, "cycles", b.Parallel.Cycles, f.Parallel.Cycles)
+			drifts = appendInt(drifts, key, "instrs", b.Parallel.Instrs, f.Parallel.Instrs)
+			drifts = appendInt(drifts, key, "serial_cycles", b.SerialCycles, f.SerialCycles)
+			return appendInt(drifts, key, "cores_used", int64(b.CoresUsed), int64(f.CoresUsed))
+		})
+	drifts = diffRecords(drifts, base.Slots, fresh.Slots, (*SlotRecord).Key,
+		func(drifts []Drift, key string, b, f *SlotRecord) []Drift {
+			drifts = appendInt(drifts, key, "cycles", b.TotalCycles, f.TotalCycles)
+			return appendInt(drifts, key, "payload_bits", b.PayloadBits, f.PayloadBits)
+		})
+	return drifts
+}
+
+// diffRecords runs the shared matching logic for one record family:
+// index both sides (flagging duplicates), compare matched pairs with
+// cmp, and report one-sided records as missing/unexpected.
+func diffRecords[T any](drifts []Drift, base, fresh []T, key func(*T) string,
+	cmp func([]Drift, string, *T, *T) []Drift) []Drift {
+	freshByKey := make(map[string]*T, len(fresh))
+	for i := range fresh {
+		k := key(&fresh[i])
+		if _, dup := freshByKey[k]; dup {
+			drifts = append(drifts, Drift{Key: k, Field: "duplicate"})
+			continue
+		}
+		freshByKey[k] = &fresh[i]
+	}
+	seen := make(map[string]bool, len(base))
+	for i := range base {
+		b := &base[i]
+		k := key(b)
+		if seen[k] {
+			drifts = append(drifts, Drift{Key: k, Field: "duplicate"})
+			continue
+		}
+		seen[k] = true
+		f, ok := freshByKey[k]
+		if !ok {
+			drifts = append(drifts, Drift{Key: k, Field: "missing"})
+			continue
+		}
+		drifts = cmp(drifts, k, b, f)
+	}
+	for i := range fresh {
+		if k := key(&fresh[i]); !seen[k] {
+			seen[k] = true // report each fresh-only key once
+			drifts = append(drifts, Drift{Key: k, Field: "unexpected"})
+		}
+	}
+	return drifts
+}
+
+// appendInt appends a drift when the two values differ.
+func appendInt(drifts []Drift, key, field string, base, fresh int64) []Drift {
+	if base == fresh {
+		return drifts
+	}
+	return append(drifts, Drift{Key: key, Field: field, Base: base, Fresh: fresh})
+}

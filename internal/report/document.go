@@ -1,0 +1,80 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaV1 identifies the current benchmark-document layout. Bump it
+// when a field changes meaning, so benchgate can refuse to compare
+// incompatible documents instead of reporting spurious drift.
+const SchemaV1 = "repro-bench/v1"
+
+// Document is one benchmark artifact: every record a tool run produced,
+// in deterministic order. It deliberately carries no timestamps or host
+// information — the same tree must produce byte-identical documents, so
+// a baseline diff is exact.
+type Document struct {
+	Schema string `json:"schema"`
+	// Tool names the producer ("kernelbench", "benchgate", "puschsim").
+	Tool string `json:"tool,omitempty"`
+
+	Kernels []KernelRecord `json:"kernels,omitempty"`
+	Slots   []SlotRecord   `json:"slots,omitempty"`
+}
+
+// NewDocument returns an empty v1 document for the named tool.
+func NewDocument(tool string) *Document {
+	return &Document{Schema: SchemaV1, Tool: tool}
+}
+
+// Write serializes the document as indented JSON. Encoding is
+// deterministic: struct fields in declaration order, records in
+// insertion order.
+func (d *Document) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteFile writes the document to path, creating or truncating it.
+func (d *Document) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a document and checks its schema.
+func Read(r io.Reader) (*Document, error) {
+	var d Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: decoding document: %w", err)
+	}
+	if d.Schema != SchemaV1 {
+		return nil, fmt.Errorf("report: document schema %q, this tool reads %q", d.Schema, SchemaV1)
+	}
+	return &d, nil
+}
+
+// Load reads a document from a file.
+func Load(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KernelRecord is one kernel experiment's structured result: the Fig. 8
+// measurement (IPC and stall breakdown of the parallel pass) and the
+// Fig. 9 comparison against the projected serial single-core baseline.
+type KernelRecord struct {
+	// Kernel is the kernel family: "fft", "mmm" or "chol".
+	Kernel string `json:"kernel"`
+	// Label names the configuration within the family (e.g. "16 FFTs
+	// 256-pt").
+	Label string `json:"label"`
+	// Cluster names the machine the experiment ran on ("MemPool",
+	// "TeraPool", or a scaled variant like "TeraPool-g4").
+	Cluster   string `json:"cluster"`
+	CoresUsed int    `json:"cores_used"`
+
+	// Parallel is the warm parallel pass over the whole cluster.
+	Parallel Window `json:"parallel"`
+
+	// SerialCycles is the projected single-core cycle count for the same
+	// total work; SerialIPC is measured on core 0 only.
+	SerialCycles int64   `json:"serial_cycles"`
+	SerialIPC    float64 `json:"serial_ipc"`
+
+	Speedup     float64 `json:"speedup"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Key returns the stable identity used to match records across runs:
+// cluster, kernel family and configuration label.
+func (r *KernelRecord) Key() string {
+	return fmt.Sprintf("%s/%s/%s", strings.ToLower(r.Cluster), r.Kernel, r.Label)
+}
+
+// Fig8Row renders the record as a Fig. 8 style line: IPC plus the stall
+// breakdown.
+func (r *KernelRecord) Fig8Row() string {
+	return fmt.Sprintf("%-24s %-12s IPC %.2f (serial %.2f)  %s",
+		r.Label, r.Cluster, r.Parallel.IPC, r.SerialIPC, r.Parallel.Stalls)
+}
+
+// Fig9Row renders the record as a Fig. 9 style line: speedup, cycle
+// count, utilization and the theoretical limit.
+func (r *KernelRecord) Fig9Row() string {
+	return fmt.Sprintf("%-24s %-12s speedup %6.1f / limit %4d  util %.2f  cycles %9d  MACs/cyc %7.1f",
+		r.Label, r.Cluster, r.Speedup, r.CoresUsed, r.Utilization, r.Parallel.Cycles, r.Parallel.MACsPerCycle)
+}
+
+// Header returns the column rule printed above the row renderers.
+func Header() string {
+	return strings.Repeat("-", 112)
+}

@@ -1,0 +1,90 @@
+// Package report is the typed telemetry layer of the reproduction: the
+// structured records behind the paper's evaluation figures. Where the
+// engine produces raw measurement windows (engine.Report) and
+// internal/bench produces experiment results, this package turns them
+// into stable, machine-readable records — per-kernel cycle counts, IPC,
+// stall-bucket breakdowns, speedup/utilization (Figs. 8 and 9), slot
+// budgets with throughput in Gb/s (Fig. 9c and the SDR follow-ups) —
+// that serialize to deterministic JSON documents and diff exactly.
+//
+// Because the engine is bit-reproducible, two runs of the same
+// experiment on the same tree produce byte-identical documents; any
+// cycle-count drift against a committed baseline is a real performance
+// change. cmd/benchgate builds its regression gate on Diff, and
+// cmd/kernelbench and cmd/puschsim emit these records with -json.
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Breakdown is the Fig. 8 stall breakdown as fractions of the attributed
+// core-cycles: issued instructions plus one bucket per stall class. The
+// six fields sum to 1 for any non-empty window.
+type Breakdown struct {
+	Instr  float64 `json:"instr"`
+	RAW    float64 `json:"raw"`
+	LSU    float64 `json:"lsu"`
+	WFI    float64 `json:"wfi"`
+	Ext    float64 `json:"ext"`
+	ICache float64 `json:"icache"`
+}
+
+// NewBreakdown computes the stall breakdown of one measured window.
+func NewBreakdown(r engine.Report) Breakdown {
+	return Breakdown{
+		Instr:  r.Fraction(func(s engine.Stats) int64 { return s.Instrs }),
+		RAW:    r.Fraction(func(s engine.Stats) int64 { return s.RawStalls }),
+		LSU:    r.Fraction(func(s engine.Stats) int64 { return s.LsuStalls }),
+		WFI:    r.Fraction(func(s engine.Stats) int64 { return s.WfiStalls }),
+		Ext:    r.Fraction(func(s engine.Stats) int64 { return s.ExtStalls }),
+		ICache: r.Fraction(func(s engine.Stats) int64 { return s.ICacheStalls }),
+	}
+}
+
+// String renders the breakdown as the fixed-order table row the Fig. 8
+// reproduction prints.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("instr %5.1f%%  raw %5.1f%%  lsu %5.1f%%  wfi %5.1f%%  ext %5.1f%%  icache %5.1f%%",
+		b.Instr*100, b.RAW*100, b.LSU*100, b.WFI*100, b.Ext*100, b.ICache*100)
+}
+
+// Window is the typed record of one measured execution window: the
+// serializable form of an engine.Report, with the derived metrics the
+// figures plot precomputed.
+type Window struct {
+	Name         string    `json:"name,omitempty"`
+	Cores        int       `json:"cores"`
+	Cycles       int64     `json:"cycles"`
+	Instrs       int64     `json:"instrs"`
+	MACs         int64     `json:"macs"`
+	IPC          float64   `json:"ipc"`
+	MACsPerCycle float64   `json:"macs_per_cycle"`
+	Stalls       Breakdown `json:"stalls"`
+}
+
+// NewWindow converts one engine measurement into its typed record.
+func NewWindow(r engine.Report) Window {
+	return Window{
+		Name:         r.Name,
+		Cores:        r.Cores,
+		Cycles:       r.Wall,
+		Instrs:       r.Stats.Instrs,
+		MACs:         r.Stats.MACs,
+		IPC:          r.IPC(),
+		MACsPerCycle: r.MACsPerCycle(),
+		Stalls:       NewBreakdown(r),
+	}
+}
+
+// Gbps converts a payload carried over a cycle window into throughput in
+// Gb/s at the paper's nominal 1 GHz clock (one cycle per nanosecond, so
+// Gb/s is exactly bits per cycle).
+func Gbps(bits, cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(bits) / float64(cycles)
+}

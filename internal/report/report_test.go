@@ -1,0 +1,204 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// sampleReport builds an engine.Report with a fully attributed window.
+func sampleReport() engine.Report {
+	return engine.Report{
+		Name:  "fft",
+		Cores: 4,
+		Wall:  1000,
+		Stats: engine.Stats{
+			Instrs:       2000,
+			MACs:         800,
+			RawStalls:    600,
+			LsuStalls:    400,
+			WfiStalls:    500,
+			ExtStalls:    300,
+			ICacheStalls: 200,
+		},
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	b := NewBreakdown(sampleReport())
+	sum := b.Instr + b.RAW + b.LSU + b.WFI + b.Ext + b.ICache
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("breakdown fractions sum to %v, want 1", sum)
+	}
+	s := b.String()
+	for _, k := range []string{"instr", "raw", "lsu", "wfi", "ext", "icache"} {
+		if !strings.Contains(s, k) {
+			t.Errorf("Breakdown.String() missing %q: %s", k, s)
+		}
+	}
+}
+
+func TestNewWindow(t *testing.T) {
+	rep := sampleReport()
+	w := NewWindow(rep)
+	if w.Cycles != rep.Wall || w.Instrs != rep.Stats.Instrs || w.MACs != rep.Stats.MACs {
+		t.Errorf("window %+v does not mirror the report", w)
+	}
+	if math.Abs(w.IPC-rep.IPC()) > 1e-12 || math.Abs(w.MACsPerCycle-rep.MACsPerCycle()) > 1e-12 {
+		t.Error("window derived metrics disagree with the engine's")
+	}
+}
+
+func TestGbps(t *testing.T) {
+	// 131072 bits over 65536 cycles at 1 GHz is exactly 2 Gb/s.
+	if g := Gbps(131072, 65536); g != 2 {
+		t.Errorf("Gbps = %v, want 2", g)
+	}
+	if g := Gbps(100, 0); g != 0 {
+		t.Error("Gbps with zero cycles must be 0")
+	}
+}
+
+func TestKernelRecordRows(t *testing.T) {
+	r := KernelRecord{
+		Kernel: "fft", Label: "16 FFTs 256-pt", Cluster: "MemPool",
+		CoresUsed: 256, Parallel: NewWindow(sampleReport()),
+		SerialCycles: 50000, SerialIPC: 0.8, Speedup: 50, Utilization: 0.2,
+	}
+	if got, want := r.Key(), "mempool/fft/16 FFTs 256-pt"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if row := r.Fig8Row(); !strings.Contains(row, "MemPool") || !strings.Contains(row, "IPC") {
+		t.Errorf("Fig8Row = %q", row)
+	}
+	if row := r.Fig9Row(); !strings.Contains(row, "speedup") || !strings.Contains(row, "cycles") {
+		t.Errorf("Fig9Row = %q", row)
+	}
+}
+
+func TestDocumentRoundTripIsByteStable(t *testing.T) {
+	d := NewDocument("kernelbench")
+	d.Kernels = []KernelRecord{{
+		Kernel: "mmm", Label: "128x128x128 MMM", Cluster: "TeraPool",
+		CoresUsed: 1024, Parallel: NewWindow(sampleReport()),
+		SerialCycles: 123456, SerialIPC: 0.9, Speedup: 700, Utilization: 0.68,
+	}}
+	d.Slots = []SlotRecord{{
+		Kind: "usecase", Cluster: "TeraPool", Cores: 1024, UEs: 4, Scheme: "16qam",
+		CholPerRound: 16, TotalCycles: 785000, TimeMs: 0.785,
+		PayloadBits: 629248, ThroughputGbps: 0.8,
+		Phases: []SlotPhase{{Name: "OFDM FFT", PerPass: 1000, Passes: 14, Cycles: 14000, Share: 0.6}},
+	}}
+	var buf1 bytes.Buffer
+	if err := d.Write(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Errorf("document round trip changed bytes:\n%s\nvs\n%s", buf1.Bytes(), buf2.Bytes())
+	}
+	if drifts := Diff(d, got); len(drifts) != 0 {
+		t.Errorf("round-tripped document drifts against itself: %v", drifts)
+	}
+}
+
+func TestReadRejectsForeignSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}
+
+func TestDiffFindsEveryMismatchClass(t *testing.T) {
+	base := NewDocument("t")
+	base.Kernels = []KernelRecord{
+		{Kernel: "fft", Label: "a", Cluster: "MemPool", CoresUsed: 256,
+			Parallel: Window{Cycles: 1000, Instrs: 900}, SerialCycles: 9000},
+		{Kernel: "mmm", Label: "b", Cluster: "MemPool", CoresUsed: 256,
+			Parallel: Window{Cycles: 2000, Instrs: 1800}, SerialCycles: 8000},
+	}
+	base.Slots = []SlotRecord{
+		{Kind: "usecase", Cluster: "TeraPool", UEs: 4, CholPerRound: 16,
+			TotalCycles: 785000, PayloadBits: 100},
+	}
+
+	fresh := NewDocument("t")
+	fresh.Kernels = []KernelRecord{
+		// One-cycle perturbation: must gate.
+		{Kernel: "fft", Label: "a", Cluster: "MemPool", CoresUsed: 256,
+			Parallel: Window{Cycles: 1001, Instrs: 900}, SerialCycles: 9000},
+		// New experiment not in the baseline.
+		{Kernel: "chol", Label: "c", Cluster: "MemPool", CoresUsed: 256,
+			Parallel: Window{Cycles: 10, Instrs: 10}},
+	}
+	// The mmm record and the slot record are missing from the fresh run.
+
+	drifts := Diff(base, fresh)
+	byField := map[string]int{}
+	for _, d := range drifts {
+		byField[d.Field]++
+	}
+	if byField["cycles"] != 1 || byField["missing"] != 2 || byField["unexpected"] != 1 {
+		t.Fatalf("drift classes = %v, want 1 cycles + 2 missing + 1 unexpected", byField)
+	}
+	var cyc Drift
+	for _, d := range drifts {
+		if d.Field == "cycles" {
+			cyc = d
+		}
+	}
+	if cyc.Base != 1000 || cyc.Fresh != 1001 || !cyc.Regression() {
+		t.Errorf("cycles drift = %+v", cyc)
+	}
+	if !strings.Contains(cyc.String(), "+1 cycles") {
+		t.Errorf("drift string %q does not show the one-cycle delta", cyc.String())
+	}
+
+	if drifts := Diff(base, base); len(drifts) != 0 {
+		t.Errorf("identical documents drift: %v", drifts)
+	}
+}
+
+func TestDiffFlagsDuplicateKeys(t *testing.T) {
+	rec := KernelRecord{Kernel: "fft", Label: "a", Cluster: "MemPool",
+		Parallel: Window{Cycles: 1000}}
+	doc := NewDocument("t")
+	doc.Kernels = []KernelRecord{rec, rec}
+	clean := NewDocument("t")
+	clean.Kernels = []KernelRecord{rec}
+
+	for name, drifts := range map[string][]Drift{
+		"fresh-side": Diff(clean, doc),
+		"base-side":  Diff(doc, clean),
+	} {
+		dups := 0
+		for _, d := range drifts {
+			if d.Field == "duplicate" {
+				dups++
+			}
+			if d.Field == "unexpected" || d.Field == "missing" {
+				t.Errorf("%s: duplicate misreported as %s", name, d.Field)
+			}
+		}
+		if dups != 1 {
+			t.Errorf("%s: %d duplicate drifts, want 1 (all: %v)", name, dups, drifts)
+		}
+	}
+}
+
+func TestSlotKeyDistinguishesSchemes(t *testing.T) {
+	a := SlotRecord{Kind: "chain", Cluster: "MemPool", UEs: 4, Scheme: "qpsk"}
+	b := SlotRecord{Kind: "chain", Cluster: "MemPool", UEs: 4, Scheme: "16qam"}
+	if a.Key() == b.Key() {
+		t.Errorf("distinct schemes share key %q", a.Key())
+	}
+}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SlotPhase is one stage's (or kernel's) contribution to a slot-level
+// record: a measured pass scaled by its per-slot repetition count for
+// use-case budgets, or the aggregate stage window for chain runs.
+type SlotPhase struct {
+	Name string `json:"name"`
+	// PerPass is the wall-cycle cost of one measured pass; Passes is how
+	// many times the slot repeats it. Chain stages report the aggregate
+	// directly (Passes = 1).
+	PerPass      int64   `json:"per_pass"`
+	Passes       int     `json:"passes"`
+	Cycles       int64   `json:"cycles"`
+	Share        float64 `json:"share"`
+	IPC          float64 `json:"ipc,omitempty"`
+	MACsPerCycle float64 `json:"macs_per_cycle,omitempty"`
+}
+
+// SlotRecord is the structured result of one slot-level experiment: the
+// Fig. 9c use-case budget or a functional chain run, with the
+// slot-throughput metric of the SDR follow-up papers (payload bits over
+// slot cycles at 1 GHz).
+type SlotRecord struct {
+	// Kind is "usecase" or "chain".
+	Kind    string `json:"kind"`
+	Cluster string `json:"cluster"`
+	Cores   int    `json:"cores"`
+	UEs     int    `json:"ues"`
+	// Scheme is the modulation carrying the payload ("qpsk", "16qam",
+	// "64qam"). Use-case records state the scheme assumed for the
+	// throughput figure.
+	Scheme string `json:"scheme,omitempty"`
+	// CholPerRound is the use-case Cholesky schedule (0 for chain runs).
+	CholPerRound int `json:"chol_per_round,omitempty"`
+
+	Phases []SlotPhase `json:"phases"`
+
+	TotalCycles int64   `json:"cycles"`
+	TimeMs      float64 `json:"time_ms"`
+
+	// PayloadBits is the information payload one slot carries at these
+	// dimensions; ThroughputGbps is PayloadBits over the slot time at the
+	// nominal 1 GHz clock.
+	PayloadBits    int64   `json:"payload_bits"`
+	ThroughputGbps float64 `json:"throughput_gbps"`
+
+	// SerialCycles/Speedup are only set when the experiment also measured
+	// the single-core baseline.
+	SerialCycles int64   `json:"serial_cycles,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+
+	// Link quality, chain runs only.
+	BER   float64 `json:"ber,omitempty"`
+	EVMdB float64 `json:"evm_db,omitempty"`
+}
+
+// Key returns the stable identity used to match slot records across
+// runs. Documents holding slot variants this composite cannot
+// distinguish (e.g. an SNR sweep at fixed dimensions) are flagged by
+// Diff as duplicates rather than silently collapsed.
+func (r *SlotRecord) Key() string {
+	key := fmt.Sprintf("%s/%s/%due/chol%d", r.Kind, strings.ToLower(r.Cluster), r.UEs, r.CholPerRound)
+	if r.Scheme != "" {
+		key += "/" + r.Scheme
+	}
+	return key
+}

@@ -20,6 +20,7 @@ package sim
 import (
 	"repro/internal/arch"
 	"repro/internal/engine"
+	"repro/internal/report"
 )
 
 // Cluster architecture description types.
@@ -77,6 +78,11 @@ type (
 	// Report summarizes a measured window (IPC, MACs/cycle, stall
 	// breakdown).
 	Report = engine.Report
+	// Window is the typed telemetry record of a measured window, ready
+	// for JSON emission (see NewWindow).
+	Window = report.Window
+	// Breakdown is the Fig. 8 stall breakdown as typed fractions.
+	Breakdown = report.Breakdown
 	// Mark snapshots machine state for ReportSince.
 	Mark = engine.Mark
 	// Tracer records per-core phase timings when attached to a Machine.
@@ -90,6 +96,13 @@ func NewMachine(cfg *Config) *Machine { return engine.NewMachine(cfg) }
 
 // NewMachines returns an empty reusable-machine pool.
 func NewMachines() *Machines { return engine.NewMachines() }
+
+// NewWindow converts a measured Report into its typed, serializable
+// telemetry record (cycles, instructions, IPC, stall breakdown).
+func NewWindow(r Report) Window { return report.NewWindow(r) }
+
+// NewBreakdown computes the typed stall breakdown of a measured Report.
+func NewBreakdown(r Report) Breakdown { return report.NewBreakdown(r) }
 
 // Speedup returns serial.Wall / parallel.Wall.
 func Speedup(serial, parallel Report) float64 { return engine.Speedup(serial, parallel) }

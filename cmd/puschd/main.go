@@ -1,0 +1,175 @@
+// Command puschd is the streaming basestation service: it admits a
+// trace of PUSCH slot jobs, serves it through the slot-traffic
+// scheduler (internal/sched) on pooled simulator machines, and streams
+// one report.SlotRecord-compatible JSON line per served job followed by
+// one final summary line (kind "summary") with the service-level
+// metrics: offered and served Gb/s, mean/max queue-wait cycles, drop
+// rate, server utilization. A human-readable digest of the same
+// summary goes to stderr.
+//
+// Jobs come from a JSONL spec stream (-in file, or "-" for stdin; see
+// sched.Spec for the line format — zero fields inherit the server
+// defaults) or from a built-in traffic generator:
+//
+//	-gen poisson    memoryless arrivals at -rate slots/ms (default)
+//	-gen bursty     on/off bursts: -burst slots per burst, -gap-ms off time
+//	-gen mix        Poisson arrivals over the Table I 1/2/4-UE use-case blend
+//	-gen campaign   the -snr-min..-snr-max SNR sweep served as a stream
+//
+// Output is byte-identical for the same trace, seed and service
+// discipline, across runs and across -workers counts; -trace-out saves
+// the offered trace as replayable JSONL specs.
+//
+// Usage:
+//
+//	puschd [-gen poisson|bursty|mix|campaign] [-jobs N] [-rate slots/ms]
+//	       [-burst N] [-gap-ms ms] [-snr-min dB] [-snr-max dB]
+//	       [-in file|-] [-trace-out file]
+//	       [-cluster mempool|terapool] [-scheme qpsk|16qam|64qam] [-snr dB]
+//	       [-servers N] [-queue N] [-workers N] [-seed N]
+//
+// Examples:
+//
+//	puschd -gen poisson -jobs 100 -rate 2 -servers 2
+//	puschd -gen mix -jobs 50 -rate 4 -queue 4
+//	puschd -in trace.jsonl -servers 1 -queue 2
+//	puschd -gen poisson -jobs 20 -trace-out trace.jsonl   # save, then replay:
+//	puschd -in trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/pusch"
+	"repro/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("puschd: ")
+	inPath := flag.String("in", "", "JSONL job-spec stream to serve (a path, or - for stdin); empty uses -gen")
+	gen := flag.String("gen", "poisson", "trace generator when -in is empty: poisson, bursty, mix or campaign")
+	jobs := flag.Int("jobs", 100, "generated trace length in slots")
+	rate := flag.Float64("rate", 2, "offered load in slots per millisecond of simulated time")
+	burst := flag.Int("burst", 8, "bursty: slots per on-period")
+	gapMs := flag.Float64("gap-ms", 2, "bursty: mean off-period in milliseconds")
+	snrMin := flag.Float64("snr-min", 8, "campaign: first SNR point in dB")
+	snrMax := flag.Float64("snr-max", 26, "campaign: last SNR point in dB")
+	traceOut := flag.String("trace-out", "", "also write the offered trace as replayable JSONL specs to this file")
+	clusterFlag := flag.String("cluster", "mempool", "default cluster for jobs that do not pin one: mempool or terapool")
+	schemeFlag := flag.String("scheme", "qpsk", "default modulation: qpsk, 16qam or 64qam")
+	snr := flag.Float64("snr", 20, "default SNR in dB")
+	servers := flag.Int("servers", 1, "virtual slot processors serving the queue in simulated time")
+	queue := flag.Int("queue", sched.DefaultQueueDepth, "bounded wait-queue depth in slots (0 = default, negative = no queue)")
+	workers := flag.Int("workers", 0, "host measurement goroutines (0 = GOMAXPROCS); never affects results")
+	seed := flag.Uint64("seed", 1, "trace and payload base seed")
+	flag.Parse()
+
+	cluster, err := sched.ParseCluster(*clusterFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheme, err := sched.ParseScheme(*schemeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The server's default slot: the same reduced-dimension chain the
+	// campaign engine sweeps (the functional path keeps every
+	// intermediate buffer resident, bounding NSC).
+	base := pusch.ChainConfig{
+		Cluster: cluster,
+		NSC:     256, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: scheme,
+		SNRdB:  *snr,
+	}
+
+	trace, err := buildTrace(*inPath, *gen, base, *jobs, *rate, *burst, *gapMs, *snrMin, *snrMax, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(trace) == 0 {
+		log.Fatal("empty job trace")
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sched.WriteSpecs(f, trace); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s := &sched.Scheduler{Cfg: sched.Config{
+		Servers:    *servers,
+		QueueDepth: *queue,
+		Workers:    *workers,
+		Seed:       *seed,
+	}}
+	sum, err := s.WriteJSONL(os.Stdout, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"puschd: %d jobs over %.3f ms: %d served, %d dropped, %d failed (drop rate %.1f%%)\n",
+		sum.Jobs, sum.HorizonMs, sum.Served, sum.Dropped, sum.Failed, sum.DropRate*100)
+	fmt.Fprintf(os.Stderr,
+		"puschd: offered %.3f Gb/s, served %.3f Gb/s; wait mean %.0f / max %d cycles; utilization %.1f%% of %d server(s)\n",
+		sum.OfferedGbps, sum.ServedGbps, sum.MeanWaitCycles, sum.MaxWaitCycles, sum.Utilization*100, sum.Servers)
+	if sum.Pool != nil {
+		fmt.Fprintf(os.Stderr,
+			"puschd: machine pool: %d gets = %d built + %d reused, peak %d arenas\n",
+			sum.Pool.Gets, sum.Pool.Builds, sum.Pool.Reuses, sum.Pool.Peak)
+	}
+}
+
+// buildTrace assembles the offered trace from the stream or the
+// selected generator.
+func buildTrace(inPath, gen string, base pusch.ChainConfig, jobs int, rate float64, burst int, gapMs, snrMin, snrMax float64, seed uint64) ([]sched.Job, error) {
+	if inPath != "" {
+		r := os.Stdin
+		if inPath != "-" {
+			f, err := os.Open(inPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		return sched.ReadJobs(r, base)
+	}
+	switch gen {
+	case "poisson":
+		return sched.PoissonTrace(base, jobs, rate, seed), nil
+	case "bursty":
+		return sched.BurstyTrace(base, jobs, burst, rate, gapMs, seed), nil
+	case "mix":
+		return sched.MixedTrace(sched.TableIMix(&base), jobs, rate, seed), nil
+	case "campaign":
+		// A campaign family served as a traffic stream: the SNR sweep's
+		// scenarios arrive evenly at the offered rate (clamped positive,
+		// like the random generators).
+		if rate <= 0 {
+			rate = 1
+		}
+		scenarios := campaign.SNRSweep(base, snrMin, snrMax, 2)
+		spacing := int64(sched.CyclesPerMs / rate)
+		trace, skipped := sched.FromScenarios(scenarios, spacing, seed)
+		if skipped > 0 {
+			log.Printf("skipped %d non-chain scenarios", skipped)
+		}
+		return trace, nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want poisson, bursty, mix or campaign)", gen)
+	}
+}

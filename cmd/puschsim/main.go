@@ -18,11 +18,21 @@
 //
 // Usage:
 //
-//	puschsim [-cluster terapool|mempool] [-chol-batch 4|16] [-serial] [-chain] [-snr dB]
-//	puschsim -campaign snr      [-snr-min 8] [-snr-max 26] [-snr-step 2] [-scheme qpsk] [-workers N]
+//	puschsim [-cluster terapool|mempool] [-chol-batch 4|16] [-serial] [-full-mimo] [-json]
+//	puschsim -chain [-snr dB]
+//	puschsim -campaign snr      [-snr-min 8] [-snr-max 26] [-snr-step 2] [-scheme qpsk]
+//	                            [-workers N] [-seed N]
 //	puschsim -campaign schemes  # modulation x UE-count grid
 //	puschsim -campaign clusters # cluster-size scaling sweep
 //	puschsim -campaign chol     # use-case Cholesky schedule sweep
+//
+// Flags: -cluster picks the simulated cluster for every mode;
+// -chol-batch, -serial, -full-mimo and -json shape the default Fig. 9c
+// mode (-json emits the typed slot record instead of tables); -chain
+// and -snr select the functional slot; -campaign fans a scenario
+// family out across -workers host goroutines with base seed -seed,
+// emitting one JSON line per scenario. To serve slot traffic as a
+// stream rather than run one experiment, see cmd/puschd.
 package main
 
 import (

@@ -7,7 +7,9 @@
 //   - sim: a deterministic cycle-approximate simulator of the MemPool
 //     (256-core) and TeraPool (1024-core) shared-L1 RISC-V clusters,
 //     including the banked-memory contention, LSU, divide/sqrt and
-//     instruction-fetch models and the fork-join barrier runtime;
+//     instruction-fetch models and the fork-join barrier runtime, plus
+//     the slot-traffic scheduler that serves streaming slot jobs
+//     through a bounded queue on pooled machines;
 //   - kernels/...: the paper's parallel kernels (folded radix-4 FFT,
 //     4x4-window matrix multiplication, mirrored/replicated Cholesky,
 //     channel and noise estimation, per-subcarrier MIMO detection), all
@@ -22,8 +24,16 @@
 //   - cmd/complexity, cmd/kernelbench, cmd/puschsim: binaries that
 //     regenerate every table and figure of the paper's evaluation,
 //     emitting typed telemetry records (internal/report) as JSON;
+//   - cmd/puschd: the streaming basestation service — it serves JSONL
+//     or generated slot-traffic traces (Poisson, bursty, Table I
+//     blends) and reports offered/served Gb/s, queue-wait cycles and
+//     drops, byte-reproducibly;
 //   - cmd/benchgate: the deterministic cycle-regression gate that diffs
 //     a fresh run against the committed testdata/baseline_*.json.
+//
+// The layer-by-layer map of the codebase — tcdm memory model up through
+// engine, kernels, chain, campaign/scheduler, telemetry and the
+// command-line tools — is docs/ARCHITECTURE.md.
 //
 // The benchmarks in bench_test.go wrap the same experiments as testing.B
 // benchmarks; see EXPERIMENTS.md for measured-versus-paper numbers and

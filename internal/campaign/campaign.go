@@ -1,11 +1,17 @@
 // Package campaign turns the one-shot experiment runners of
 // internal/pusch into a scenario-sweep engine: a Scenario names one
 // configuration variant (an end-to-end chain run or a Fig. 9c use-case
-// budget), generators build whole families of them (SNR sweeps,
-// modulation-scheme x UE grids, cluster-size scaling), and a Runner fans
-// the scenarios out across host goroutines with one pooled simulator
-// Machine per worker and deterministic per-scenario seeds, so campaign
-// results are byte-identical across runs and worker counts.
+// budget), generators build whole families of them (SNR sweeps behind
+// BER/EVM-versus-SNR curves, modulation-scheme x UE grids, the
+// cluster-size scaling of Fig. 9a-b, Cholesky schedule sweeps of the
+// Fig. 9c green/red comparison), and a Runner fans the scenarios out
+// across host goroutines — one engine.Machines pool shard per worker —
+// with deterministic per-scenario seeds, so campaign results are
+// byte-identical across runs and worker counts.
+//
+// Campaigns treat scenarios as independent. To serve them as dependent
+// traffic through a queue instead (arrivals, waits, drops), adapt them
+// with sched.FromScenarios.
 package campaign
 
 import (

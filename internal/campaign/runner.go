@@ -25,10 +25,13 @@ type Runner struct {
 	Seed uint64
 }
 
-// scenarioSeed derives the per-scenario seed from the campaign base and
-// the scenario's position, splitmix64-style: decorrelated across the
-// sweep yet a pure function of (base, index).
-func scenarioSeed(base uint64, index int) uint64 {
+// DeriveSeed derives a per-item seed from a base seed and the item's
+// position, splitmix64-style: decorrelated across a sweep yet a pure
+// function of (base, index). The campaign Runner uses it for scenario
+// seeds and the slot-traffic scheduler for job payload seeds, so a
+// campaign scenario served as a traffic job reproduces the same
+// payload.
+func DeriveSeed(base uint64, index int) uint64 {
 	z := base + 0x9e3779b97f4a7c15*uint64(index+1)
 	z ^= z >> 30
 	z *= 0xbf58476d1ce4e5b9
@@ -56,7 +59,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	if workers <= 1 {
 		pool := engine.NewMachines()
 		for i := range scenarios {
-			results[i] = scenarios[i].run(pool, scenarioSeed(base, i))
+			results[i] = scenarios[i].run(pool, DeriveSeed(base, i))
 		}
 		return results
 	}
@@ -68,7 +71,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			defer wg.Done()
 			pool := engine.NewMachines()
 			for i := range idx {
-				results[i] = scenarios[i].run(pool, scenarioSeed(base, i))
+				results[i] = scenarios[i].run(pool, DeriveSeed(base, i))
 			}
 		}()
 	}

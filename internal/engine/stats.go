@@ -15,6 +15,12 @@
 // every run is bit-reproducible. Phases must be data-race free across
 // cores (the fork-join contract); enable Machine.DebugRaces in tests to
 // verify that property.
+//
+// Machines are reusable: Machine.Reset restores the just-constructed
+// state, and the Machines pool (plus its per-worker Sharded variant,
+// with PoolStats occupancy counters) recycles the multi-MiB cluster
+// arenas across the campaign sweeps, benchmarks and the slot-traffic
+// scheduler that run many independent experiments per process.
 package engine
 
 // Stats accumulates per-core cycle and instruction counters. Every cycle

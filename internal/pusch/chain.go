@@ -207,6 +207,32 @@ func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
 	}, nil
 }
 
+// RunChainRecord executes the chain on a freshly built machine and
+// returns the typed slot record directly. See RunChainRecordOn.
+func RunChainRecord(cfg ChainConfig) (report.SlotRecord, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return report.SlotRecord{}, err
+	}
+	return RunChainRecordOn(engine.NewMachine(cfg.Cluster), cfg)
+}
+
+// RunChainRecordOn executes the chain on a caller-supplied (fresh or
+// Reset) machine and returns the typed telemetry record instead of the
+// raw result: the job-oriented entry point the slot-traffic scheduler
+// dispatches, where each admitted job must yield exactly one
+// report.SlotRecord.
+func RunChainRecordOn(m *engine.Machine, cfg ChainConfig) (report.SlotRecord, error) {
+	if cfg.Cluster == nil {
+		cfg.Cluster = m.Cfg
+	}
+	res, err := RunChainOn(m, cfg)
+	if err != nil {
+		return report.SlotRecord{}, err
+	}
+	return res.Record(cfg), nil
+}
+
 // combinePlan averages the two pilot-symbol channel estimates and
 // derives the noise variance from their difference: with a static
 // channel, h1 - h2 is pure noise, so sigma^2 = E|h1-h2|^2 / 2. This is

@@ -4,7 +4,9 @@
 // internal/bench produces experiment results, this package turns them
 // into stable, machine-readable records — per-kernel cycle counts, IPC,
 // stall-bucket breakdowns, speedup/utilization (Figs. 8 and 9), slot
-// budgets with throughput in Gb/s (Fig. 9c and the SDR follow-ups) —
+// budgets with throughput in Gb/s (Fig. 9c and the SDR follow-ups), and
+// the service-level records of the slot-traffic scheduler (JobRecord,
+// ServiceSummary: queue waits, drops, offered versus served Gb/s) —
 // that serialize to deterministic JSON documents and diff exactly.
 //
 // Because the engine is bit-reproducible, two runs of the same

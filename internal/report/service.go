@@ -1,0 +1,83 @@
+package report
+
+import "repro/internal/engine"
+
+// JobRecord is the service-level form of one served slot job: the slot's
+// SlotRecord (inlined, so a JobRecord JSON line is also a valid
+// SlotRecord line) plus the scheduling coordinates the slot-traffic
+// scheduler assigned it. All times are simulated cycles at the nominal
+// 1 GHz clock, on the same axis as the slot's own cycle counts.
+type JobRecord struct {
+	// Job is the job's index in arrival order; Name is the trace's label
+	// for it (generator name, campaign scenario, or the spec's name).
+	Job  int    `json:"job"`
+	Name string `json:"name,omitempty"`
+
+	SlotRecord
+
+	// ArrivalCycle is when the slot entered the system, StartCycle when a
+	// server began processing it, FinishCycle when processing completed.
+	ArrivalCycle int64 `json:"arrival_cycle"`
+	StartCycle   int64 `json:"start_cycle"`
+	FinishCycle  int64 `json:"finish_cycle"`
+	// WaitCycles = StartCycle - ArrivalCycle (queue wait);
+	// LatencyCycles = FinishCycle - ArrivalCycle (sojourn time).
+	WaitCycles    int64 `json:"wait_cycles"`
+	LatencyCycles int64 `json:"latency_cycles"`
+}
+
+// ServiceSummary aggregates one scheduler run: the offered-versus-served
+// traffic picture of a continuously loaded basestation, the queueing
+// behaviour, and the server occupancy. Emitted as the final JSONL line
+// of a service run, tagged Kind "summary" so stream consumers can
+// separate it from the per-job records.
+type ServiceSummary struct {
+	Kind string `json:"kind"` // always "summary"
+
+	// Offered traffic: every job in the trace, including dropped and
+	// failed ones.
+	Jobs int `json:"jobs"`
+	// Served completed processing; Dropped found the bounded queue full
+	// on arrival; Failed were rejected at dispatch (invalid
+	// configuration) and never held a server.
+	Served  int `json:"served"`
+	Dropped int `json:"dropped"`
+	Failed  int `json:"failed,omitempty"`
+
+	// Servers and QueueDepth restate the service discipline the summary
+	// was produced under.
+	Servers    int `json:"servers"`
+	QueueDepth int `json:"queue_depth"`
+
+	// HorizonCycles spans the first arrival to the last completion (or
+	// last arrival when nothing was served); HorizonMs is the same at the
+	// nominal 1 GHz clock.
+	HorizonCycles int64   `json:"horizon_cycles"`
+	HorizonMs     float64 `json:"horizon_ms"`
+
+	// OfferedBits is the payload of every arriving job; ServedBits of the
+	// completed ones. The Gb/s figures divide by the horizon: served
+	// throughput is the headline rate the service sustained.
+	OfferedBits int64   `json:"offered_bits"`
+	ServedBits  int64   `json:"served_bits"`
+	OfferedGbps float64 `json:"offered_gbps"`
+	ServedGbps  float64 `json:"served_gbps"`
+
+	// Queue-wait and sojourn statistics over served jobs.
+	MeanWaitCycles    float64 `json:"mean_wait_cycles"`
+	MaxWaitCycles     int64   `json:"max_wait_cycles"`
+	MeanLatencyCycles float64 `json:"mean_latency_cycles"`
+	MaxLatencyCycles  int64   `json:"max_latency_cycles"`
+
+	// Utilization is busy server-cycles over Servers * HorizonCycles;
+	// DropRate is Dropped / Jobs.
+	Utilization float64 `json:"utilization"`
+	DropRate    float64 `json:"drop_rate"`
+
+	// Pool is the simulator-machine occupancy behind the run: how many
+	// cluster arenas the host built, reused and held at peak. It is a
+	// host-side diagnostic — it varies with the measurement worker count
+	// — so deterministic JSONL streams omit it (the scheduler's
+	// WriteJSONL strips it; Serve still returns it for display).
+	Pool *engine.PoolStats `json:"pool,omitempty"`
+}

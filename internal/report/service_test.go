@@ -1,0 +1,86 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A JobRecord JSONL line must stay a valid SlotRecord line: the service
+// layer's promise to every consumer that already parses slot records.
+func TestJobRecordIsASlotRecordLine(t *testing.T) {
+	jr := JobRecord{
+		Job:  3,
+		Name: "poisson-003",
+		SlotRecord: SlotRecord{
+			Kind:           "chain",
+			Cluster:        "MemPool",
+			Cores:          256,
+			UEs:            4,
+			Scheme:         "qpsk",
+			TotalCycles:    120000,
+			TimeMs:         0.12,
+			PayloadBits:    8192,
+			ThroughputGbps: Gbps(8192, 120000),
+		},
+		ArrivalCycle:  1000,
+		StartCycle:    1500,
+		FinishCycle:   121500,
+		WaitCycles:    500,
+		LatencyCycles: 120500,
+	}
+	line, err := json.Marshal(jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SlotRecord
+	if err := json.Unmarshal(line, &sr); err != nil {
+		t.Fatalf("JobRecord line does not parse as SlotRecord: %v", err)
+	}
+	if sr.Kind != "chain" || sr.Cluster != "MemPool" || sr.TotalCycles != 120000 || sr.PayloadBits != 8192 {
+		t.Fatalf("embedded slot fields lost in transit: %+v", sr)
+	}
+	// The embedding must inline, not nest: the line carries "kind" at the
+	// top level, no "SlotRecord" wrapper object.
+	if strings.Contains(string(line), "SlotRecord") {
+		t.Fatalf("SlotRecord nested instead of inlined: %s", line)
+	}
+
+	var back JobRecord
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.WaitCycles != 500 || back.LatencyCycles != 120500 || back.Job != 3 {
+		t.Fatalf("scheduling coordinates lost: %+v", back)
+	}
+}
+
+func TestServiceSummaryJSON(t *testing.T) {
+	sum := ServiceSummary{
+		Kind: "summary", Jobs: 100, Served: 97, Dropped: 3,
+		Servers: 2, QueueDepth: 8,
+		HorizonCycles: 5_000_000, HorizonMs: 5,
+		ServedGbps: 1.5, MeanWaitCycles: 1234.5,
+	}
+	line, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "summary" {
+		t.Fatalf("summary line must be tagged kind=summary: %s", line)
+	}
+	for _, key := range []string{"served_gbps", "mean_wait_cycles", "drop_rate"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("summary line missing %q: %s", key, line)
+		}
+	}
+	// Pool occupancy is host-side diagnostics: a nil Pool must leave the
+	// wire line free of it, keeping streams worker-count independent.
+	if _, ok := m["pool"]; ok {
+		t.Fatalf("nil pool stats must be omitted: %s", line)
+	}
+}

@@ -1,0 +1,41 @@
+// Package sched turns one-shot PUSCH slot runs into a served traffic
+// stream: the streaming basestation layer over the simulator. Where the
+// paper (and internal/pusch) evaluates one slot at a time and
+// internal/campaign sweeps independent scenarios, sched models the
+// follow-up papers' framing — the 66 Gb/s RISC-V SDR uplink cluster and
+// TeraPool-SDR, where the same receive chain is continuously loaded by
+// arriving slots — and reports service-level metrics: offered versus
+// served Gb/s, queue-wait cycles, drops under backpressure, server
+// utilization.
+//
+// The model is a deterministic G/D/c/K queue in simulated time. A Job
+// is one slot of offered traffic (a pusch.ChainConfig plus an arrival
+// cycle); Config.Servers virtual slot processors serve jobs FIFO from a
+// bounded queue of Config.QueueDepth slots, and a job that arrives to a
+// full queue is dropped. A slot's service time is its measured chain
+// run on the cycle-approximate simulator, so the queueing behaviour is
+// grounded in the same cycle counts as every other figure in the repo.
+//
+// Execution is two-phase so host parallelism never perturbs the
+// virtual-time discipline:
+//
+//  1. Measurement: every job's chain run is dispatched across
+//     Config.Workers host goroutines over a sharded engine machine pool
+//     (one engine.Machines shard per worker, so each worker recycles
+//     one multi-MiB cluster arena per configuration, contention-free).
+//     Each run is a pure function of its ChainConfig and seed.
+//  2. Replay: a serial event loop replays arrivals in virtual time,
+//     assigning measured service times to servers, accumulating
+//     queue-wait cycles and deciding drops.
+//
+// Because admission is decided in phase 2, a dropped job's measurement
+// is discarded — the price of measuring in parallel — but its payload
+// still counts as offered load. Results are byte-reproducible: the same
+// trace, seed and service discipline produce identical JSONL across
+// runs and across worker counts.
+//
+// Traffic comes from generators (PoissonTrace, BurstyTrace, MixedTrace
+// over the Table I use-case blends), from campaign scenarios
+// (FromScenarios), or from JSONL job specs read off a stream
+// (ReadJobs); cmd/puschd is the long-running server wrapping all three.
+package sched

@@ -1,0 +1,307 @@
+package sched
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/pusch"
+	"repro/internal/report"
+)
+
+// Scheduler admits a trace of slot jobs and serves it through the
+// configured discipline. The zero value is usable: one server, the
+// default queue depth, GOMAXPROCS measurement workers.
+type Scheduler struct {
+	Cfg Config
+
+	// measure is the per-job measurement hook; nil runs the real chain
+	// on a pooled machine. Tests stub it to probe the queueing
+	// discipline with synthetic service times.
+	measure func(pool *engine.Machines, cfg pusch.ChainConfig) (report.SlotRecord, error)
+}
+
+// measureChain is the production measurement: one chain run on a
+// machine recycled through the worker's pool shard.
+func measureChain(pool *engine.Machines, cfg pusch.ChainConfig) (report.SlotRecord, error) {
+	if cfg.Cluster == nil {
+		cfg.Cluster = arch.MemPool()
+	}
+	// Validate before pool.Get: NewMachine panics on broken cluster
+	// configs, and a bad job must surface as a Failed result, not abort
+	// the service.
+	if err := cfg.Cluster.Validate(); err != nil {
+		return report.SlotRecord{}, err
+	}
+	m := pool.Get(cfg.Cluster)
+	rec, err := pusch.RunChainRecordOn(m, cfg)
+	pool.Put(m)
+	return rec, err
+}
+
+// measured is one job's phase-1 outcome.
+type measured struct {
+	rec report.SlotRecord
+	err error
+}
+
+// Serve runs the whole trace and returns per-job results in arrival
+// order plus the aggregate service summary. Individual job failures are
+// reported per job; Serve itself never fails.
+func (s *Scheduler) Serve(jobs []Job) ([]JobResult, report.ServiceSummary) {
+	order := arrivalOrder(jobs)
+	meas, pool := s.measureAll(jobs, order)
+	return s.replay(jobs, order, meas, pool)
+}
+
+// WriteJSONL serves the trace and streams one JobRecord JSON line per
+// served job (arrival order) followed by one final summary line tagged
+// kind="summary". Output is byte-identical across runs and worker
+// counts for the same trace and configuration.
+func (s *Scheduler) WriteJSONL(w io.Writer, jobs []Job) (report.ServiceSummary, error) {
+	results, sum := s.Serve(jobs)
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if results[i].Outcome != Served {
+			continue
+		}
+		if err := enc.Encode(&results[i].Record); err != nil {
+			return sum, err
+		}
+	}
+	// The pool stats vary with the host worker count; the stream's
+	// byte-determinism contract excludes them (callers read them off the
+	// returned summary instead).
+	wire := sum
+	wire.Pool = nil
+	if err := enc.Encode(&wire); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}
+
+// arrivalOrder returns job indices sorted by arrival cycle, stable in
+// input order for simultaneous arrivals.
+func arrivalOrder(jobs []Job) []int {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Arrival < jobs[order[b]].Arrival
+	})
+	return order
+}
+
+// measureAll runs phase 1: every job's chain measured across the
+// sharded machine pool. meas is indexed by arrival-order position.
+func (s *Scheduler) measureAll(jobs []Job, order []int) ([]measured, *engine.Sharded) {
+	measure := s.measure
+	if measure == nil {
+		measure = measureChain
+	}
+	base := s.Cfg.Seed
+	if base == 0 {
+		base = 1
+	}
+	workers := s.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sharded := engine.NewSharded(workers)
+	meas := make([]measured, len(jobs))
+	run := func(pool *engine.Machines, pos int) {
+		cfg := jobs[order[pos]].Chain
+		if cfg.Seed == 0 {
+			cfg.Seed = jobSeed(base, pos)
+		}
+		rec, err := measure(pool, cfg)
+		meas[pos] = measured{rec: rec, err: err}
+	}
+	if workers == 1 {
+		pool := sharded.Shard(0)
+		for pos := range jobs {
+			run(pool, pos)
+		}
+		return meas, sharded
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := sharded.Shard(w)
+			for pos := range idx {
+				run(pool, pos)
+			}
+		}(w)
+	}
+	for pos := range jobs {
+		idx <- pos
+	}
+	close(idx)
+	wg.Wait()
+	return meas, sharded
+}
+
+// replay runs phase 2: the serial virtual-time event loop over the
+// measured service times — a G/D/c/K queue with FIFO order, earliest
+// free server first (lowest index on ties).
+func (s *Scheduler) replay(jobs []Job, order []int, meas []measured, pool *engine.Sharded) ([]JobResult, report.ServiceSummary) {
+	servers := s.Cfg.Servers
+	if servers < 1 {
+		servers = 1
+	}
+	queueCap := s.Cfg.QueueDepth
+	switch {
+	case queueCap == 0:
+		queueCap = DefaultQueueDepth
+	case queueCap < 0:
+		queueCap = 0
+	}
+
+	results := make([]JobResult, len(jobs))
+	free := make([]int64, servers) // each server's next-free cycle
+	var queue []int                // waiting jobs, arrival-order positions
+
+	// earliest returns the server that frees first (lowest index ties).
+	earliest := func() (srv int, at int64) {
+		srv, at = 0, free[0]
+		for i := 1; i < servers; i++ {
+			if free[i] < at {
+				srv, at = i, free[i]
+			}
+		}
+		return srv, at
+	}
+	// assign starts job pos on srv at cycle start and fills its record.
+	assign := func(pos, srv int, start int64) {
+		r := &results[pos]
+		svc := r.ServiceCycles
+		finish := start + svc
+		free[srv] = finish
+		r.Outcome = Served
+		r.Record = report.JobRecord{
+			Job:           pos,
+			Name:          r.Name,
+			SlotRecord:    meas[pos].rec,
+			ArrivalCycle:  r.Arrival,
+			StartCycle:    start,
+			FinishCycle:   finish,
+			WaitCycles:    start - r.Arrival,
+			LatencyCycles: finish - r.Arrival,
+		}
+	}
+
+	for pos, ji := range order {
+		job := &jobs[ji]
+		r := &results[pos]
+		r.Job, r.Name, r.Arrival = pos, job.Name, job.Arrival
+		if meas[pos].err != nil {
+			r.Outcome = Failed
+			r.Error = meas[pos].err.Error()
+			continue
+		}
+		r.ServiceCycles = meas[pos].rec.TotalCycles
+
+		// Drain completions up to this arrival: queued jobs start as
+		// servers free.
+		for len(queue) > 0 {
+			srv, at := earliest()
+			if at > job.Arrival {
+				break
+			}
+			assign(queue[0], srv, at)
+			queue = queue[1:]
+		}
+		if srv, at := earliest(); len(queue) == 0 && at <= job.Arrival {
+			assign(pos, srv, job.Arrival)
+		} else if len(queue) < queueCap {
+			queue = append(queue, pos)
+		} else {
+			r.Outcome = Dropped
+		}
+	}
+	for len(queue) > 0 {
+		srv, at := earliest()
+		assign(queue[0], srv, at)
+		queue = queue[1:]
+	}
+
+	return results, s.summarize(results, meas, servers, queueCap, pool)
+}
+
+// summarize computes the aggregate service picture from the per-job
+// results; meas supplies the offered payload of dropped jobs, whose
+// discarded measurement never reached a JobRecord.
+func (s *Scheduler) summarize(results []JobResult, meas []measured, servers, queueCap int, pool *engine.Sharded) report.ServiceSummary {
+	stats := pool.Stats()
+	sum := report.ServiceSummary{
+		Kind:       "summary",
+		Jobs:       len(results),
+		Servers:    servers,
+		QueueDepth: queueCap,
+		Pool:       &stats,
+	}
+	var firstArrival, lastEvent int64
+	var busy, waitSum, latSum int64
+	for i := range results {
+		r := &results[i]
+		if i == 0 || r.Arrival < firstArrival {
+			firstArrival = r.Arrival
+		}
+		if r.Arrival > lastEvent {
+			lastEvent = r.Arrival
+		}
+		switch r.Outcome {
+		case Served:
+			sum.Served++
+			sum.OfferedBits += r.Record.PayloadBits
+			sum.ServedBits += r.Record.PayloadBits
+			busy += r.ServiceCycles
+			waitSum += r.Record.WaitCycles
+			latSum += r.Record.LatencyCycles
+			if r.Record.WaitCycles > sum.MaxWaitCycles {
+				sum.MaxWaitCycles = r.Record.WaitCycles
+			}
+			if r.Record.LatencyCycles > sum.MaxLatencyCycles {
+				sum.MaxLatencyCycles = r.Record.LatencyCycles
+			}
+			if r.Record.FinishCycle > lastEvent {
+				lastEvent = r.Record.FinishCycle
+			}
+		case Dropped:
+			sum.Dropped++
+			// A dropped slot's payload was offered but never served.
+			sum.OfferedBits += meas[i].rec.PayloadBits
+		case Failed:
+			sum.Failed++
+		}
+	}
+	sum.HorizonCycles = lastEvent - firstArrival
+	sum.HorizonMs = float64(sum.HorizonCycles) / CyclesPerMs
+	if sum.HorizonCycles > 0 {
+		sum.OfferedGbps = report.Gbps(sum.OfferedBits, sum.HorizonCycles)
+		sum.ServedGbps = report.Gbps(sum.ServedBits, sum.HorizonCycles)
+		sum.Utilization = float64(busy) / (float64(servers) * float64(sum.HorizonCycles))
+	}
+	if sum.Served > 0 {
+		sum.MeanWaitCycles = float64(waitSum) / float64(sum.Served)
+		sum.MeanLatencyCycles = float64(latSum) / float64(sum.Served)
+	}
+	if sum.Jobs > 0 {
+		sum.DropRate = float64(sum.Dropped) / float64(sum.Jobs)
+	}
+	return sum
+}

@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/pusch"
+	"repro/internal/waveform"
+)
+
+// CyclesPerMs converts the nominal 1 GHz clock: 1e6 simulated cycles
+// per millisecond, the axis every arrival time and rate uses.
+const CyclesPerMs = 1e6
+
+// trafficRNG builds the deterministic arrival-process generator for a
+// trace seed (0 is pinned to 1 so the zero value still reproduces).
+func trafficRNG(seed uint64) (*rand.Rand, uint64) {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed
+}
+
+// stampJob finalizes one generated job: per-job payload seed (distinct
+// slots carry distinct payload) and an index-stamped name.
+func stampJob(prefix string, i int, arrival int64, seed uint64, cfg pusch.ChainConfig) Job {
+	if cfg.Seed == 0 {
+		cfg.Seed = jobSeed(seed, i)
+	}
+	return Job{
+		Name:    fmt.Sprintf("%s-%03d", prefix, i),
+		Arrival: arrival,
+		Chain:   cfg,
+	}
+}
+
+// PoissonTrace draws n jobs with exponentially distributed inter-arrival
+// times at a mean rate of ratePerMs slots per millisecond (the memoryless
+// arrivals of a continuously loaded cell). All slots run base; the trace
+// is a pure function of (base, n, ratePerMs, seed).
+func PoissonTrace(base pusch.ChainConfig, n int, ratePerMs float64, seed uint64) []Job {
+	if n < 0 {
+		n = 0
+	}
+	rng, seed := trafficRNG(seed)
+	if ratePerMs <= 0 {
+		ratePerMs = 1
+	}
+	mean := CyclesPerMs / ratePerMs
+	jobs := make([]Job, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += rng.ExpFloat64() * mean
+		jobs = append(jobs, stampJob("poisson", i, int64(t), seed, base))
+	}
+	return jobs
+}
+
+// BurstyTrace draws n jobs as an on/off process: bursts of burst slots
+// with Poisson inter-arrivals at ratePerMs, separated by exponentially
+// distributed silent gaps with mean gapMs milliseconds — the bursty
+// uplink of a cell whose users transmit in episodes rather than
+// continuously.
+func BurstyTrace(base pusch.ChainConfig, n, burst int, ratePerMs, gapMs float64, seed uint64) []Job {
+	if n < 0 {
+		n = 0
+	}
+	rng, seed := trafficRNG(seed)
+	if ratePerMs <= 0 {
+		ratePerMs = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if gapMs < 0 {
+		gapMs = 0
+	}
+	mean := CyclesPerMs / ratePerMs
+	jobs := make([]Job, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		if i > 0 && i%burst == 0 {
+			t += rng.ExpFloat64() * gapMs * CyclesPerMs
+		}
+		t += rng.ExpFloat64() * mean
+		jobs = append(jobs, stampJob("bursty", i, int64(t), seed, base))
+	}
+	return jobs
+}
+
+// MixEntry is one configuration of a blended traffic mix, drawn with
+// probability proportional to Weight.
+type MixEntry struct {
+	Weight float64
+	Name   string
+	Chain  pusch.ChainConfig
+}
+
+// MixedTrace draws n jobs with Poisson arrivals at ratePerMs, each
+// job's configuration sampled from the weighted mix: the multi-use-case
+// load of a cell serving different UE blends at once. Each job is named
+// after its mix entry. Entries with non-positive weight are never drawn;
+// an empty or all-zero mix returns nil.
+func MixedTrace(mix []MixEntry, n int, ratePerMs float64, seed uint64) []Job {
+	var total float64
+	for _, e := range mix {
+		if e.Weight > 0 {
+			total += e.Weight
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if n < 0 {
+		n = 0
+	}
+	rng, seed := trafficRNG(seed)
+	if ratePerMs <= 0 {
+		ratePerMs = 1
+	}
+	mean := CyclesPerMs / ratePerMs
+	jobs := make([]Job, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += rng.ExpFloat64() * mean
+		pick := rng.Float64() * total
+		var entry MixEntry
+		for _, e := range mix {
+			if e.Weight <= 0 {
+				continue
+			}
+			entry = e
+			if pick < e.Weight {
+				break
+			}
+			pick -= e.Weight
+		}
+		jobs = append(jobs, stampJob(entry.Name, i, int64(t), seed, entry.Chain))
+	}
+	return jobs
+}
+
+// TableIMix returns the paper's Table I use-case blend scaled to the
+// functional chain's dimensions: the 1/2/4-UE operating points that
+// Table I prices (here at NSC=256, NR=16, NB=8, the same reduced slot
+// the campaign engine sweeps), weighted toward the heavier multi-UE
+// allocations the way a loaded cell is. Modulation tracks the UE count
+// — single-UE cell-edge QPSK up to 4-UE 64-QAM. A non-nil override
+// replaces the default base configuration (its NL and Scheme are still
+// set per entry).
+func TableIMix(override *pusch.ChainConfig) []MixEntry {
+	base := pusch.ChainConfig{
+		NSC: 256, NR: 16, NB: 8,
+		NSymb: 6, NPilot: 2,
+		SNRdB: 20,
+	}
+	if override != nil {
+		base = *override
+	}
+	entry := func(w float64, name string, nl int, scheme waveform.Scheme) MixEntry {
+		cfg := base
+		cfg.NL = nl
+		cfg.Scheme = scheme
+		return MixEntry{Weight: w, Name: name, Chain: cfg}
+	}
+	return []MixEntry{
+		entry(0.2, "1ue-qpsk", 1, waveform.QPSK),
+		entry(0.3, "2ue-16qam", 2, waveform.QAM16),
+		entry(0.5, "4ue-64qam", 4, waveform.QAM64),
+	}
+}

@@ -8,6 +8,7 @@ package pusch
 import (
 	"repro/internal/engine"
 	"repro/internal/pusch"
+	"repro/internal/report"
 )
 
 type (
@@ -31,6 +32,8 @@ type (
 	Pipeline = pusch.Pipeline
 	// LinkMetrics is the host-side scoring stage.
 	LinkMetrics = pusch.LinkMetrics
+	// SlotRecord is the typed telemetry record of one slot-level run.
+	SlotRecord = report.SlotRecord
 )
 
 // Chain stages in processing order.
@@ -58,6 +61,18 @@ func RunChain(cfg ChainConfig) (*ChainResult, error) { return pusch.RunChain(cfg
 // Reset) machine, enabling machine reuse across runs.
 func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
 	return pusch.RunChainOn(m, cfg)
+}
+
+// RunChainRecord executes the chain and returns its typed slot record:
+// the job-oriented entry point the slot-traffic scheduler dispatches.
+func RunChainRecord(cfg ChainConfig) (SlotRecord, error) {
+	return pusch.RunChainRecord(cfg)
+}
+
+// RunChainRecordOn is RunChainRecord on a caller-supplied (fresh or
+// Reset) machine.
+func RunChainRecordOn(m *engine.Machine, cfg ChainConfig) (SlotRecord, error) {
+	return pusch.RunChainRecordOn(m, cfg)
 }
 
 // RunUseCase executes the Fig. 9c slot-budget experiment.

@@ -62,6 +62,9 @@ type (
 	// keyed by cluster configuration, for sweeps that run many
 	// experiments without reallocating the multi-MiB L1 arena each time.
 	Machines = engine.Machines
+	// Sharded is a pool of machine pools, one independently locked
+	// shard per concurrent worker, with aggregate occupancy stats.
+	Sharded = engine.Sharded
 	// Job is a fork-join task over a fixed core set.
 	Job = engine.Job
 	// Phase is one barrier-delimited section of a Job.
@@ -96,6 +99,9 @@ func NewMachine(cfg *Config) *Machine { return engine.NewMachine(cfg) }
 
 // NewMachines returns an empty reusable-machine pool.
 func NewMachines() *Machines { return engine.NewMachines() }
+
+// NewSharded returns a machine pool with n independently locked shards.
+func NewSharded(n int) *Sharded { return engine.NewSharded(n) }
 
 // NewWindow converts a measured Report into its typed, serializable
 // telemetry record (cycles, instructions, IPC, stall breakdown).

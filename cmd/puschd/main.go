@@ -26,12 +26,20 @@
 //	       [-burst N] [-gap-ms ms] [-snr-min dB] [-snr-max dB]
 //	       [-in file|-] [-trace-out file]
 //	       [-cluster mempool|terapool] [-scheme qpsk|16qam|64qam] [-snr dB]
+//	       [-channel iid|tdl-a|tdl-b|tdl-c] [-doppler Hz] [-rician-k K]
 //	       [-servers N] [-queue N] [-workers N] [-seed N]
+//
+// -channel/-doppler/-rician-k put the served cell on a fading channel
+// (internal/channel): generated jobs are assigned to a population of
+// mobile UEs whose per-UE link state evolves coherently across their
+// slots, and served records carry the channel coordinates. The default
+// (no flags) keeps the legacy fresh-iid-draw-per-slot channel.
 //
 // Examples:
 //
 //	puschd -gen poisson -jobs 100 -rate 2 -servers 2
 //	puschd -gen mix -jobs 50 -rate 4 -queue 4
+//	puschd -gen poisson -channel tdl-b -doppler 30        # mobile UEs on TDL-B
 //	puschd -in trace.jsonl -servers 1 -queue 2
 //	puschd -gen poisson -jobs 20 -trace-out trace.jsonl   # save, then replay:
 //	puschd -in trace.jsonl
@@ -63,6 +71,9 @@ func main() {
 	clusterFlag := flag.String("cluster", "mempool", "default cluster for jobs that do not pin one: mempool or terapool")
 	schemeFlag := flag.String("scheme", "qpsk", "default modulation: qpsk, 16qam or 64qam")
 	snr := flag.Float64("snr", 20, "default SNR in dB")
+	channelFlag := flag.String("channel", "", "fading profile: iid, tdl-a, tdl-b or tdl-c (empty = legacy per-slot iid draw)")
+	doppler := flag.Float64("doppler", 0, "maximum Doppler shift in Hz (UE mobility; 0 = static fading)")
+	ricianK := flag.Float64("rician-k", 0, "linear Rician K-factor on the strongest tap (0 = Rayleigh)")
 	servers := flag.Int("servers", 1, "virtual slot processors serving the queue in simulated time")
 	queue := flag.Int("queue", sched.DefaultQueueDepth, "bounded wait-queue depth in slots (0 = default, negative = no queue)")
 	workers := flag.Int("workers", 0, "host measurement goroutines (0 = GOMAXPROCS); never affects results")
@@ -86,6 +97,17 @@ func main() {
 		NSymb: 6, NPilot: 2,
 		Scheme: scheme,
 		SNRdB:  *snr,
+	}
+	// An explicit fading profile (or any mobility/LOS parameter) makes
+	// the generators serve mobile UEs: every generated job gets a per-UE
+	// fading identity and an arrival-time channel coordinate, so one
+	// UE's slots see a coherently evolving channel.
+	if *channelFlag != "" || *doppler != 0 || *ricianK != 0 {
+		profile, err := sched.ParseChannelProfile(*channelFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base = sched.Mobile(base, profile, *doppler, *ricianK)
 	}
 
 	trace, err := buildTrace(*inPath, *gen, base, *jobs, *rate, *burst, *gapMs, *snrMin, *snrMax, *seed)
@@ -168,7 +190,10 @@ func buildTrace(inPath, gen string, base pusch.ChainConfig, jobs int, rate float
 		if skipped > 0 {
 			log.Printf("skipped %d non-chain scenarios", skipped)
 		}
-		return trace, nil
+		// FromScenarios reproduces campaign payloads but knows nothing of
+		// UEs; with -channel/-doppler set, attach the same per-UE evolving
+		// link state the generators stamp.
+		return sched.StampMobile(trace, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown generator %q (want poisson, bursty, mix or campaign)", gen)
 	}

@@ -19,20 +19,24 @@
 // Usage:
 //
 //	puschsim [-cluster terapool|mempool] [-chol-batch 4|16] [-serial] [-full-mimo] [-json]
-//	puschsim -chain [-snr dB]
+//	puschsim -chain [-snr dB] [-channel tdl-b] [-doppler 30]
 //	puschsim -campaign snr      [-snr-min 8] [-snr-max 26] [-snr-step 2] [-scheme qpsk]
 //	                            [-workers N] [-seed N]
 //	puschsim -campaign schemes  # modulation x UE-count grid
 //	puschsim -campaign clusters # cluster-size scaling sweep
 //	puschsim -campaign chol     # use-case Cholesky schedule sweep
+//	puschsim -campaign profiles # fading-profile sweep (iid + TDL-A/B/C)
+//	puschsim -campaign link     # BER-vs-SNR link curves over TDL profiles
 //
 // Flags: -cluster picks the simulated cluster for every mode;
 // -chol-batch, -serial, -full-mimo and -json shape the default Fig. 9c
 // mode (-json emits the typed slot record instead of tables); -chain
-// and -snr select the functional slot; -campaign fans a scenario
-// family out across -workers host goroutines with base seed -seed,
-// emitting one JSON line per scenario. To serve slot traffic as a
-// stream rather than run one experiment, see cmd/puschd.
+// and -snr select the functional slot; -channel and -doppler put chain
+// and campaign runs on a fading channel (internal/channel; empty keeps
+// the legacy per-slot iid draw); -campaign fans a scenario family out
+// across -workers host goroutines with base seed -seed, emitting one
+// JSON line per scenario. To serve slot traffic as a stream rather
+// than run one experiment, see cmd/puschd.
 package main
 
 import (
@@ -57,8 +61,10 @@ func main() {
 	fullMIMO := flag.Bool("full-mimo", false, "time the complete MIMO stage (Gramian+Cholesky+solves) instead of bare decompositions")
 	chain := flag.Bool("chain", false, "run the functional end-to-end chain instead of the Fig. 9c budget")
 	snr := flag.Float64("snr", 26, "chain mode: SNR in dB")
+	channelFlag := flag.String("channel", "", "fading profile for chain and campaign modes: iid, tdl-a, tdl-b or tdl-c (empty = legacy per-slot iid draw)")
+	doppler := flag.Float64("doppler", 0, "maximum Doppler shift in Hz (0 = static fading)")
 	jsonOut := flag.Bool("json", false, "emit the Fig. 9c result as a typed JSON slot record instead of tables")
-	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters or chol")
+	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters, chol, profiles or link")
 	snrMin := flag.Float64("snr-min", 8, "campaign snr: first SNR point in dB")
 	snrMax := flag.Float64("snr-max", 26, "campaign snr: last SNR point in dB")
 	snrStep := flag.Float64("snr-step", 2, "campaign snr: SNR increment in dB")
@@ -77,13 +83,18 @@ func main() {
 		log.Fatalf("unknown cluster %q", *clusterFlag)
 	}
 
+	chSpec, err := channelSpec(*channelFlag, *doppler)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *campaignFlag != "" {
-		runCampaign(cluster, *campaignFlag, *schemeFlag, *snrMin, *snrMax, *snrStep, *workers, *seed)
+		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, *snrMin, *snrMax, *snrStep, *workers, *seed)
 		return
 	}
 
 	if *chain {
-		runChain(cluster, *snr)
+		runChain(cluster, *snr, chSpec)
 		return
 	}
 
@@ -133,20 +144,37 @@ func main() {
 	}
 }
 
+// channelSpec builds the fading spec from the -channel/-doppler flags;
+// the zero pair keeps the legacy per-slot iid draw.
+func channelSpec(name string, dopplerHz float64) (pusch.ChannelSpec, error) {
+	var spec pusch.ChannelSpec
+	if name == "" && dopplerHz == 0 {
+		return spec, nil
+	}
+	profile, err := pusch.ParseChannelProfile(name)
+	if err != nil {
+		return spec, err
+	}
+	spec.Profile = profile
+	spec.DopplerHz = dopplerHz
+	return spec, nil
+}
+
 // campaignBase is the chain configuration campaigns sweep around: the
 // same reduced-dimension slot the -chain mode runs (the functional path
 // keeps every intermediate buffer resident, bounding NSC).
-func campaignBase(cluster *sim.Config, scheme waveform.Scheme) pusch.ChainConfig {
+func campaignBase(cluster *sim.Config, scheme waveform.Scheme, chSpec pusch.ChannelSpec) pusch.ChainConfig {
 	return pusch.ChainConfig{
 		Cluster: cluster,
 		NSC:     256, NR: 16, NB: 8, NL: 4,
 		NSymb: 6, NPilot: 2,
-		Scheme: scheme,
-		SNRdB:  20, // operating point for grids that do not sweep SNR
+		Scheme:  scheme,
+		SNRdB:   20, // operating point for grids that do not sweep SNR
+		Channel: chSpec,
 	}
 }
 
-func runCampaign(cluster *sim.Config, mode, schemeName string, snrMin, snrMax, snrStep float64, workers int, seed uint64) {
+func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, snrMin, snrMax, snrStep float64, workers int, seed uint64) {
 	var scheme waveform.Scheme
 	switch strings.ToLower(schemeName) {
 	case "qpsk":
@@ -158,12 +186,24 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, snrMin, snrMax, s
 	default:
 		log.Fatalf("unknown scheme %q", schemeName)
 	}
-	base := campaignBase(cluster, scheme)
+	base := campaignBase(cluster, scheme, chSpec)
 
 	var scenarios []pusch.Scenario
 	switch mode {
 	case "snr":
 		scenarios = pusch.SNRSweep(base, snrMin, snrMax, snrStep)
+	case "profiles":
+		// Channel robustness: every fading profile at the base operating
+		// point (use -doppler to put the UEs in motion).
+		scenarios = pusch.ProfileSweep(base, pusch.ChannelProfiles)
+	case "link":
+		// BER-versus-SNR link curves over the standardized TDL profiles
+		// (-channel narrows the family to one profile).
+		profiles := []pusch.ChannelProfile{pusch.ChannelTDLA, pusch.ChannelTDLB, pusch.ChannelTDLC}
+		if chSpec.Profile != "" {
+			profiles = []pusch.ChannelProfile{chSpec.Profile}
+		}
+		scenarios = pusch.LinkCurves(base, profiles, snrMin, snrMax, snrStep)
 	case "schemes":
 		scenarios = pusch.SchemeGrid(base,
 			[]waveform.Scheme{waveform.QPSK, waveform.QAM16, waveform.QAM64},
@@ -183,7 +223,7 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, snrMin, snrMax, s
 		}
 		scenarios = pusch.CholScheduleSweep(uc, []int{1, 2, 4, 8, 16})
 	default:
-		log.Fatalf("unknown campaign %q (want snr, schemes, clusters or chol)", mode)
+		log.Fatalf("unknown campaign %q (want snr, schemes, clusters, chol, profiles or link)", mode)
 	}
 
 	if len(scenarios) == 0 {
@@ -195,20 +235,25 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, snrMin, snrMax, s
 	}
 }
 
-func runChain(cluster *sim.Config, snr float64) {
+func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec) {
 	res, err := pusch.RunChain(pusch.ChainConfig{
 		Cluster: cluster,
 		NSC:     256, NR: 16, NB: 8, NL: 4,
 		NSymb: 6, NPilot: 2,
-		Scheme: waveform.QPSK,
-		SNRdB:  snr,
-		Seed:   1,
+		Scheme:  waveform.QPSK,
+		SNRdB:   snr,
+		Seed:    1,
+		Channel: chSpec,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("functional slot on %s at %.0f dB SNR: BER %.2e, EVM %.1f dB, sigma^2 %.2e\n",
-		cluster.Name, snr, res.BER, res.EVMdB, res.SigmaEst)
+	ch := "iid (legacy)"
+	if !chSpec.Legacy() {
+		ch = fmt.Sprintf("%s at %g Hz Doppler", chSpec.EffectiveProfile(), chSpec.DopplerHz)
+	}
+	fmt.Printf("functional slot on %s, %s channel, %.0f dB SNR: BER %.2e, EVM %.1f dB, sigma^2 %.2e\n",
+		cluster.Name, ch, snr, res.BER, res.EVMdB, res.SigmaEst)
 	fmt.Printf("%d cycles (%.3f ms at 1 GHz)\n", res.TotalCycles, res.TimeMs)
 	for _, st := range pusch.Stages {
 		rep := res.Stages[st]

@@ -21,13 +21,19 @@
 //     pooled simulator machines;
 //   - waveform, fixedpoint: the transmit/channel substrate and the
 //     packed Q1.15 arithmetic;
+//   - internal/channel (re-exported via pusch and sim): the fading
+//     subsystem — 3GPP TR 38.901 TDL-A/B/C power-delay profiles,
+//     Rayleigh/Rician sum-of-sinusoids tap fading with a Jakes Doppler
+//     spectrum, and per-UE link state that evolves coherently across a
+//     UE's slots while staying a pure function of (seed, time);
 //   - cmd/complexity, cmd/kernelbench, cmd/puschsim: binaries that
 //     regenerate every table and figure of the paper's evaluation,
 //     emitting typed telemetry records (internal/report) as JSON;
 //   - cmd/puschd: the streaming basestation service — it serves JSONL
 //     or generated slot-traffic traces (Poisson, bursty, Table I
-//     blends) and reports offered/served Gb/s, queue-wait cycles and
-//     drops, byte-reproducibly;
+//     blends, optionally over fading channels with mobile UEs) and
+//     reports offered/served Gb/s, queue-wait cycles and drops,
+//     byte-reproducibly;
 //   - cmd/benchgate: the deterministic cycle-regression gate that diffs
 //     a fresh run against the committed testdata/baseline_*.json.
 //

@@ -47,6 +47,11 @@ type Result struct {
 	SNRdB    float64 `json:"snr_db"`
 	UEs      int     `json:"ues"`
 	Seed     uint64  `json:"seed,omitempty"`
+	// Channel coordinates of chain scenarios run over an active fading
+	// spec; omitted for legacy (iid, static) configurations, keeping the
+	// pre-subsystem wire bytes.
+	Channel   string  `json:"channel,omitempty"`
+	DopplerHz float64 `json:"doppler_hz,omitempty"`
 
 	BER      float64 `json:"ber"`
 	EVMdB    float64 `json:"evm_db"`
@@ -107,6 +112,10 @@ func (s *Scenario) runChain(pool *engine.Machines, seed uint64) Result {
 		Scheme:   cfg.Scheme.String(),
 		UEs:      cfg.NL,
 		Seed:     cfg.Seed,
+	}
+	if !cfg.Channel.Legacy() {
+		res.Channel = string(cfg.Channel.EffectiveProfile())
+		res.DopplerHz = cfg.Channel.DopplerHz
 	}
 	// Validate before pool.Get: NewMachine panics on broken cluster
 	// configs, and a bad scenario must surface as Result.Error, not

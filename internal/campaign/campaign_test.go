@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/channel"
 	"repro/internal/pusch"
 	"repro/internal/waveform"
 )
@@ -225,5 +226,84 @@ func TestCampaignResultsCarryThroughput(t *testing.T) {
 	}
 	if ucRes[0].PayloadBits <= 0 || ucRes[0].ThroughputGbps <= 0 {
 		t.Errorf("use-case throughput missing: %+v", ucRes[0])
+	}
+}
+
+// TestProfileSweepScenarios: one chain scenario per fading profile, the
+// profile applied to the scenario's channel spec and surfaced on the
+// result line.
+func TestProfileSweepScenarios(t *testing.T) {
+	base := testBase()
+	base.SNRdB = 24
+	base.Channel.DopplerHz = 30
+	scens := ProfileSweep(base, []channel.Profile{channel.IID, channel.TDLA, channel.TDLB, channel.TDLC})
+	if len(scens) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(scens))
+	}
+	if scens[1].Name != "profile-tdl-a" || scens[1].Chain.Channel.Profile != channel.TDLA {
+		t.Errorf("scenario 1 = %q over %q", scens[1].Name, scens[1].Chain.Channel.Profile)
+	}
+	results := (&Runner{Workers: 2}).Run(scens)
+	for i, res := range results {
+		if res.Error != "" {
+			t.Fatalf("%s: %s", res.Scenario, res.Error)
+		}
+		want := string(scens[i].Chain.Channel.Profile)
+		if res.Channel != want || res.DopplerHz != 30 {
+			t.Errorf("%s: channel coordinates %q/%g, want %q/30", res.Scenario, res.Channel, res.DopplerHz, want)
+		}
+	}
+}
+
+// TestLinkCurveMonotone is the CI link-quality gate: a quick link-curve
+// campaign (one TDL profile, three well-separated SNR points) must
+// produce a BER curve that is monotone non-increasing in SNR. A fading
+// subsystem bug that breaks the SNR axis (mis-scaled tap powers, noise
+// applied to the wrong amplitude) shows up here immediately.
+func TestLinkCurveMonotone(t *testing.T) {
+	base := testBase()
+	base.Channel.DopplerHz = 30
+	// Pin the fading realization: every SNR point then sees the same
+	// channel (evaluated at the same instant), so the curve compares
+	// noise levels only and monotonicity is structural, not a property
+	// of three independent channel draws.
+	base.Channel.Seed = 5
+	base.Channel.TimeMs = 1
+	scens := LinkCurves(base, []channel.Profile{channel.TDLA}, 4, 24, 10)
+	if len(scens) != 3 {
+		t.Fatalf("%d scenarios, want 3 SNR points", len(scens))
+	}
+	results := (&Runner{Workers: 2, Seed: 3}).Run(scens)
+	prev := 1.0
+	for _, res := range results {
+		if res.Error != "" {
+			t.Fatalf("%s: %s", res.Scenario, res.Error)
+		}
+		if res.BER > prev {
+			t.Errorf("BER %.4f at %g dB above %.4f at lower SNR", res.BER, res.SNRdB, prev)
+		}
+		prev = res.BER
+		t.Logf("%s: BER %.4f", res.Scenario, res.BER)
+	}
+	if results[0].BER == 0 {
+		t.Errorf("BER at %g dB is already zero; the curve's low end carries no signal", results[0].SNRdB)
+	}
+	if last := results[len(results)-1].BER; last > 0.01 {
+		t.Errorf("BER %.4f at the high-SNR end, want near zero", last)
+	}
+}
+
+// TestLinkCurvesCrossProduct checks the generator's shape: profiles are
+// contiguous, every (profile, SNR) pair appears once.
+func TestLinkCurvesCrossProduct(t *testing.T) {
+	scens := LinkCurves(testBase(), []channel.Profile{channel.TDLB, channel.TDLC}, 10, 20, 5)
+	if len(scens) != 6 {
+		t.Fatalf("%d scenarios, want 2 profiles x 3 points", len(scens))
+	}
+	if scens[0].Chain.Channel.Profile != channel.TDLB || scens[3].Chain.Channel.Profile != channel.TDLC {
+		t.Error("profiles not contiguous in scenario order")
+	}
+	if scens[0].Chain.SNRdB != 10 || scens[2].Chain.SNRdB != 20 {
+		t.Errorf("SNR endpoints %g..%g, want 10..20", scens[0].Chain.SNRdB, scens[2].Chain.SNRdB)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/channel"
 	"repro/internal/pusch"
 	"repro/internal/waveform"
 )
@@ -73,6 +74,53 @@ func ClusterScaling(base pusch.ChainConfig, groups []int) []Scenario {
 			Name:  fmt.Sprintf("cluster-%dcores", cl.NumCores()),
 			Chain: &cfg,
 		})
+	}
+	return out
+}
+
+// ProfileSweep returns one chain scenario per fading profile at the
+// base operating point: the family behind channel-robustness
+// comparisons (how BER/EVM move from the iid reference to the
+// standardized TDL profiles). The base's Doppler, Rician K and fading
+// seed carry over; only the profile varies.
+func ProfileSweep(base pusch.ChainConfig, profiles []channel.Profile) []Scenario {
+	var out []Scenario
+	for _, p := range profiles {
+		cfg := base
+		cfg.Channel.Profile = p
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("profile-%s", p),
+			Chain: &cfg,
+		})
+	}
+	return out
+}
+
+// LinkCurves returns the profile x SNR cross product: one chain
+// scenario per (fading profile, SNR point), the family behind
+// BER-versus-SNR link curves over standardized channels. SNR points run
+// from minDB to maxDB inclusive in stepDB increments (stepDB <= 0
+// defaults to 2 dB). Scenarios are ordered profile-major, so each
+// profile's curve is contiguous in the output stream.
+func LinkCurves(base pusch.ChainConfig, profiles []channel.Profile, minDB, maxDB, stepDB float64) []Scenario {
+	if stepDB <= 0 {
+		stepDB = 2
+	}
+	var out []Scenario
+	for _, p := range profiles {
+		for i := 0; ; i++ {
+			snr := minDB + float64(i)*stepDB
+			if snr > maxDB+1e-9 {
+				break
+			}
+			cfg := base
+			cfg.Channel.Profile = p
+			cfg.SNRdB = snr
+			out = append(out, Scenario{
+				Name:  fmt.Sprintf("%s/snr%+05.1fdB-%s", p, snr, cfg.Scheme),
+				Chain: &cfg,
+			})
+		}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/channel"
 	"repro/internal/engine"
 	"repro/internal/fixed"
 	"repro/internal/kernels/chest"
@@ -31,8 +32,15 @@ type ChainConfig struct {
 	SNRdB    float64
 	DataAmp  float64 // per-subcarrier data amplitude (default 0.25)
 	PilotAmp float64 // pilot amplitude (default 0.5)
-	Taps     int     // channel taps (default 4)
+	Taps     int     // iid channel taps (default 4)
 	Seed     uint64
+	// Channel selects the fading model (internal/channel). The zero
+	// value is the legacy iid draw — Taps equal-power Rayleigh taps drawn
+	// fresh from Seed each slot, bit-identical to the pre-subsystem
+	// behaviour. A non-legacy spec (TDL profile, Doppler, Rician K or a
+	// pinned fading seed) evolves a per-UE link state on the channel time
+	// axis instead.
+	Channel channel.Spec
 	// InterpolateChannel enables linear comb interpolation in the MIMO
 	// stage (better tracking of frequency-selective channels at the cost
 	// of extra loads and multiplies per gathered element).
@@ -81,7 +89,7 @@ func (r *ChainResult) Record(cfg ChainConfig) report.SlotRecord {
 			MACsPerCycle: rep.MACsPerCycle(),
 		})
 	}
-	return report.SlotRecord{
+	rec := report.SlotRecord{
 		Kind:           "chain",
 		Cluster:        cfg.Cluster.Name,
 		Cores:          cfg.Cluster.NumCores(),
@@ -95,6 +103,16 @@ func (r *ChainResult) Record(cfg ChainConfig) report.SlotRecord {
 		BER:            r.BER,
 		EVMdB:          r.EVMdB,
 	}
+	if !cfg.Channel.Legacy() {
+		// Channel coordinates: which fading realization this slot saw.
+		// Legacy runs omit them, keeping the pre-subsystem wire bytes.
+		rec.Channel = string(cfg.Channel.EffectiveProfile())
+		rec.DopplerHz = cfg.Channel.DopplerHz
+		rec.RicianK = cfg.Channel.RicianK
+		rec.ChannelSeed = cfg.Channel.Seed
+		rec.ChannelTimeMs = cfg.Channel.TimeMs
+	}
+	return rec
 }
 
 func (c *ChainConfig) setDefaults() {
@@ -129,6 +147,9 @@ func (c *ChainConfig) validate() error {
 		return fmt.Errorf("pusch: NPilot must be 2 (differential noise estimation), got %d", c.NPilot)
 	case c.NSymb <= c.NPilot:
 		return fmt.Errorf("pusch: NSymb %d must exceed NPilot %d", c.NSymb, c.NPilot)
+	}
+	if err := c.Channel.Validate(); err != nil {
+		return fmt.Errorf("pusch: %w", err)
 	}
 	lanes := c.NSC / 16
 	if lanes > c.Cluster.NumCores() {

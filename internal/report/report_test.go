@@ -202,3 +202,29 @@ func TestSlotKeyDistinguishesSchemes(t *testing.T) {
 		t.Errorf("distinct schemes share key %q", a.Key())
 	}
 }
+
+// TestSlotKeyDistinguishesChannels: records that differ only in their
+// fading profile must not collide (a profile sweep would otherwise be
+// flagged as duplicates by Diff), and channel coordinates must diff
+// cleanly against themselves — the property the benchgate CI job relies
+// on once slot records carry channel coordinates.
+func TestSlotKeyDistinguishesChannels(t *testing.T) {
+	mk := func(profile string) SlotRecord {
+		return SlotRecord{Kind: "chain", Cluster: "MemPool", UEs: 4, Scheme: "qpsk",
+			Channel: profile, DopplerHz: 30, ChannelSeed: 9, ChannelTimeMs: 1.5,
+			TotalCycles: 19085, PayloadBits: 4096}
+	}
+	legacy := SlotRecord{Kind: "chain", Cluster: "MemPool", UEs: 4, Scheme: "qpsk"}
+	a, b, iid := mk("tdl-a"), mk("tdl-b"), mk("iid")
+	if a.Key() == b.Key() {
+		t.Errorf("distinct profiles share key %q", a.Key())
+	}
+	if iid.Key() == legacy.Key() {
+		t.Error("named iid profile and legacy record share a key")
+	}
+	doc := NewDocument("t")
+	doc.Slots = []SlotRecord{mk("tdl-a"), mk("tdl-b"), mk("tdl-c"), legacy}
+	if drifts := Diff(doc, doc); len(drifts) != 0 {
+		t.Errorf("channel-coordinate slots drift against themselves: %v", drifts)
+	}
+}

@@ -57,6 +57,20 @@ type SlotRecord struct {
 	// Link quality, chain runs only.
 	BER   float64 `json:"ber,omitempty"`
 	EVMdB float64 `json:"evm_db,omitempty"`
+
+	// Channel coordinates: the fading realization a chain slot was run
+	// over. Channel is the profile name ("iid", "tdl-a", ...); DopplerHz
+	// the maximum Doppler shift; RicianK the linear K-factor of the
+	// strongest tap; ChannelSeed the UE fading identity and ChannelTimeMs
+	// the slot's position on that UE's channel time axis (two records
+	// sharing a ChannelSeed saw one coherently evolving channel). All
+	// omitted for legacy (iid, static) runs, whose wire bytes predate the
+	// channel subsystem.
+	Channel       string  `json:"channel,omitempty"`
+	DopplerHz     float64 `json:"doppler_hz,omitempty"`
+	RicianK       float64 `json:"rician_k,omitempty"`
+	ChannelSeed   uint64  `json:"channel_seed,omitempty"`
+	ChannelTimeMs float64 `json:"channel_time_ms,omitempty"`
 }
 
 // Key returns the stable identity used to match slot records across
@@ -67,6 +81,9 @@ func (r *SlotRecord) Key() string {
 	key := fmt.Sprintf("%s/%s/%due/chol%d", r.Kind, strings.ToLower(r.Cluster), r.UEs, r.CholPerRound)
 	if r.Scheme != "" {
 		key += "/" + r.Scheme
+	}
+	if r.Channel != "" {
+		key += "/" + r.Channel
 	}
 	return key
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/campaign"
+	"repro/internal/channel"
 	"repro/internal/engine"
 	"repro/internal/pusch"
 	"repro/internal/report"
@@ -414,6 +415,140 @@ func TestFromScenariosReproducesCampaignPayloads(t *testing.T) {
 		if r.Record.BER != campaignChain[i].BER || r.Record.EVMdB != campaignChain[i].EVMdB {
 			t.Fatalf("job %d (%s) link metrics differ from campaign: BER %v vs %v, EVM %v vs %v",
 				i, r.Name, r.Record.BER, campaignChain[i].BER, r.Record.EVMdB, campaignChain[i].EVMdB)
+		}
+	}
+}
+
+// TestMobileTraceAttachesLinkState: generated traffic over an active
+// channel spec gets per-UE fading identities (round-robin over the UE
+// population, so slots i and i+P share one evolving channel) and a
+// channel time equal to the arrival instant — while pinned specs and
+// legacy bases stay untouched.
+func TestMobileTraceAttachesLinkState(t *testing.T) {
+	base := Mobile(tinyChain(), channel.TDLB, 30, 0)
+	jobs := PoissonTrace(base, 2*DefaultUEPopulation+3, 2, 5)
+	for i, j := range jobs {
+		ch := j.Chain.Channel
+		if ch.Seed == 0 {
+			t.Fatalf("job %d: no fading seed stamped", i)
+		}
+		if want := float64(j.Arrival) / CyclesPerMs; ch.TimeMs != want {
+			t.Errorf("job %d: channel time %g ms, want arrival %g", i, ch.TimeMs, want)
+		}
+		if i >= DefaultUEPopulation {
+			prev := jobs[i-DefaultUEPopulation].Chain.Channel
+			if ch.Seed != prev.Seed {
+				t.Errorf("jobs %d and %d are one UE but have fading seeds %d / %d",
+					i-DefaultUEPopulation, i, prev.Seed, ch.Seed)
+			}
+			if ch.TimeMs <= prev.TimeMs {
+				t.Errorf("job %d: channel time %g not after %g (no evolution)", i, ch.TimeMs, prev.TimeMs)
+			}
+		}
+		if i > 0 && i < DefaultUEPopulation && ch.Seed == jobs[0].Chain.Channel.Seed {
+			t.Errorf("jobs 0 and %d are distinct UEs but share a fading seed", i)
+		}
+	}
+	// Legacy bases stay legacy: no stamping.
+	for _, j := range PoissonTrace(tinyChain(), 4, 2, 5) {
+		if !j.Chain.Channel.Legacy() {
+			t.Fatalf("legacy base got channel stamping: %+v", j.Chain.Channel)
+		}
+	}
+	// Pinned fading seeds survive generation.
+	pinned := base
+	pinned.Channel.Seed = 77
+	for _, j := range BurstyTrace(pinned, 6, 2, 4, 1, 5) {
+		if j.Chain.Channel.Seed != 77 {
+			t.Fatalf("pinned fading seed overwritten: %d", j.Chain.Channel.Seed)
+		}
+	}
+}
+
+// TestMobileServiceDeterministicAcrossWorkers is the acceptance
+// criterion of the channel subsystem at the service level: a mobile
+// trace (TDL profile + Doppler) served with 1 and 8 measurement workers
+// must produce byte-identical JSONL, and served records must carry the
+// channel coordinates.
+func TestMobileServiceDeterministicAcrossWorkers(t *testing.T) {
+	base := Mobile(tinyChain(), channel.TDLB, 30, 0)
+	jobs := PoissonTrace(base, 24, 4, 9)
+	serve := func(workers int) string {
+		var buf bytes.Buffer
+		s := &Scheduler{Cfg: Config{Servers: 2, Workers: workers, Seed: 9}}
+		if _, err := s.WriteJSONL(&buf, jobs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := serve(1)
+	if eight := serve(8); eight != one {
+		t.Fatal("mobile-trace JSONL differs between 1 and 8 workers")
+	}
+	var rec report.JobRecord
+	if err := json.Unmarshal([]byte(strings.SplitN(one, "\n", 2)[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Channel != "tdl-b" || rec.DopplerHz != 30 || rec.ChannelSeed == 0 {
+		t.Errorf("served record channel coordinates %q/%g/%d", rec.Channel, rec.DopplerHz, rec.ChannelSeed)
+	}
+}
+
+// TestSpecRoundTripChannel: stamped mobile jobs survive the JSONL wire
+// format, so -trace-out traces replay the exact fading realizations.
+func TestSpecRoundTripChannel(t *testing.T) {
+	base := Mobile(tinyChain(), channel.TDLC, 97, 1.5)
+	jobs := PoissonTrace(base, 5, 2, 11)
+	var buf bytes.Buffer
+	if err := WriteSpecs(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Replay against a default base with no channel spec: every field
+	// must come off the wire.
+	back, err := ReadJobs(&buf, tinyChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("%d jobs back, want %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		if back[i].Chain.Channel != jobs[i].Chain.Channel {
+			t.Errorf("job %d channel spec %+v, want %+v", i, back[i].Chain.Channel, jobs[i].Chain.Channel)
+		}
+	}
+	// Unknown profiles on the wire are rejected with a line number.
+	if _, err := ReadJobs(strings.NewReader(`{"arrival_cycle":0,"channel":"tdl-z"}`), tinyChain()); err == nil {
+		t.Error("unknown wire profile accepted")
+	}
+}
+
+// TestStampMobileOnScenarioTrace: campaign adaptations served as mobile
+// traffic get the same per-UE stamping as generated traces (the puschd
+// -gen campaign -channel path), and doppler therefore actually evolves
+// the channel time across a UE's slots.
+func TestStampMobileOnScenarioTrace(t *testing.T) {
+	base := Mobile(tinyChain(), channel.TDLA, 30, 0)
+	scens := campaign.SNRSweep(base, 8, 26, 1)
+	jobs, _ := FromScenarios(scens, 500_000, 3)
+	jobs = StampMobile(jobs, 3)
+	for i, j := range jobs {
+		ch := j.Chain.Channel
+		if ch.Seed == 0 {
+			t.Fatalf("job %d: no fading seed", i)
+		}
+		if i > 0 && ch.TimeMs <= jobs[i-1].Chain.Channel.TimeMs {
+			t.Fatalf("job %d: channel time %g not advancing", i, ch.TimeMs)
+		}
+	}
+	if jobs[0].Chain.Channel.Seed != jobs[DefaultUEPopulation].Chain.Channel.Seed {
+		t.Error("scenario jobs one UE-population apart do not share a fading identity")
+	}
+	// Legacy scenario traces pass through untouched.
+	plain, _ := FromScenarios(campaign.SNRSweep(tinyChain(), 8, 10, 1), 0, 3)
+	for _, j := range StampMobile(plain, 3) {
+		if !j.Chain.Channel.Legacy() {
+			t.Fatal("legacy scenario trace got channel stamping")
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/channel"
 	"repro/internal/pusch"
 	"repro/internal/waveform"
 )
@@ -34,6 +35,17 @@ type Spec struct {
 	// 0 dB. JobSpec always writes it, so saved traces replay faithfully.
 	SNRdB *float64 `json:"snr_db,omitempty"`
 	Seed  uint64   `json:"seed,omitempty"`
+
+	// Channel coordinates (internal/channel): the fading profile, the
+	// Doppler and Rician parameters, the UE fading identity and the
+	// slot's position on that UE's channel time axis. Zero values
+	// inherit the server default; generated mobile traces stamp all of
+	// them, so a saved trace replays the exact same fading realizations.
+	Channel       string  `json:"channel,omitempty"`
+	DopplerHz     float64 `json:"doppler_hz,omitempty"`
+	RicianK       float64 `json:"rician_k,omitempty"`
+	ChannelSeed   uint64  `json:"channel_seed,omitempty"`
+	ChannelTimeMs float64 `json:"channel_time_ms,omitempty"`
 }
 
 // ParseScheme maps the wire names to waveform schemes.
@@ -48,6 +60,12 @@ func ParseScheme(name string) (waveform.Scheme, error) {
 	default:
 		return 0, fmt.Errorf("sched: unknown scheme %q (want qpsk, 16qam or 64qam)", name)
 	}
+}
+
+// ParseChannelProfile maps the wire names to fading profiles ("" is
+// the iid profile).
+func ParseChannelProfile(name string) (channel.Profile, error) {
+	return channel.ParseProfile(name)
 }
 
 // ParseCluster maps the wire names to cluster configurations.
@@ -100,6 +118,25 @@ func (sp Spec) Job(defaults pusch.ChainConfig) (Job, error) {
 	if sp.Seed != 0 {
 		cfg.Seed = sp.Seed
 	}
+	if sp.Channel != "" {
+		p, err := channel.ParseProfile(sp.Channel)
+		if err != nil {
+			return Job{}, err
+		}
+		cfg.Channel.Profile = p
+	}
+	if sp.DopplerHz != 0 {
+		cfg.Channel.DopplerHz = sp.DopplerHz
+	}
+	if sp.RicianK != 0 {
+		cfg.Channel.RicianK = sp.RicianK
+	}
+	if sp.ChannelSeed != 0 {
+		cfg.Channel.Seed = sp.ChannelSeed
+	}
+	if sp.ChannelTimeMs != 0 {
+		cfg.Channel.TimeMs = sp.ChannelTimeMs
+	}
 	return Job{Name: sp.Name, Arrival: sp.Arrival, Chain: cfg}, nil
 }
 
@@ -130,7 +167,7 @@ func JobSpec(j Job) (Spec, error) {
 		return Spec{}, err
 	}
 	snr := j.Chain.SNRdB
-	return Spec{
+	sp := Spec{
 		Name:    j.Name,
 		Arrival: j.Arrival,
 		Cluster: cluster,
@@ -142,7 +179,15 @@ func JobSpec(j Job) (Spec, error) {
 		Scheme:  strings.ToLower(j.Chain.Scheme.String()),
 		SNRdB:   &snr,
 		Seed:    j.Chain.Seed,
-	}, nil
+	}
+	if ch := j.Chain.Channel; !ch.Legacy() {
+		sp.Channel = string(ch.EffectiveProfile())
+		sp.DopplerHz = ch.DopplerHz
+		sp.RicianK = ch.RicianK
+		sp.ChannelSeed = ch.Seed
+		sp.ChannelTimeMs = ch.TimeMs
+	}
+	return sp, nil
 }
 
 // ReadJobs parses a JSONL job stream, one Spec per line, zero fields

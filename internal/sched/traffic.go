@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/campaign"
+	"repro/internal/channel"
 	"repro/internal/pusch"
 	"repro/internal/waveform"
 )
@@ -11,6 +13,69 @@ import (
 // CyclesPerMs converts the nominal 1 GHz clock: 1e6 simulated cycles
 // per millisecond, the axis every arrival time and rate uses.
 const CyclesPerMs = 1e6
+
+// DefaultUEPopulation is the number of distinct mobile-UE fading
+// identities the traffic generators cycle through when the base
+// configuration carries an active channel spec without a pinned fading
+// seed: job i belongs to UE i mod DefaultUEPopulation, so every UE's
+// slots share one coherently evolving channel.
+const DefaultUEPopulation = 16
+
+// channelSeedSalt decorrelates the UE fading identities from the
+// payload-seed stream derived from the same trace seed.
+const channelSeedSalt = 0x0ddfadedc0ffee11
+
+// stampChannel attaches the evolving per-UE link-state coordinates to
+// one generated job: with an active channel spec, an unpinned fading
+// seed is assigned round-robin over the UE population (slots i, i+P,
+// i+2P... belong to one UE and therefore one fading process), and the
+// channel time is the job's arrival instant, so a UE's consecutive
+// slots sample its channel at their true temporal spacing. Jobs that
+// pin their own fading seed or time (replayed traces, hand-built
+// specs) are left untouched, and legacy specs stay legacy — every
+// stamped field is a pure function of (trace seed, index, arrival), so
+// traces remain byte-identical across measurement worker counts.
+func stampChannel(cfg *pusch.ChainConfig, i int, arrival int64, seed uint64) {
+	if cfg.Channel.Legacy() {
+		return
+	}
+	if cfg.Channel.Seed == 0 {
+		ue := i % DefaultUEPopulation
+		cfg.Channel.Seed = campaign.DeriveSeed(seed^channelSeedSalt, ue)
+	}
+	if cfg.Channel.TimeMs == 0 {
+		cfg.Channel.TimeMs = float64(arrival) / CyclesPerMs
+	}
+}
+
+// StampMobile applies the generators' mobile-UE link-state stamping to
+// an already built trace: job i gets the UE identity i mod
+// DefaultUEPopulation and its arrival instant as channel time, exactly
+// as if the trace had come out of a generator with the same seed (0 is
+// pinned to 1, like the generators). Trace sources that bypass the
+// generators — campaign adaptations via FromScenarios — use it to
+// serve mobile UEs; jobs with legacy specs or pinned coordinates are
+// left untouched.
+func StampMobile(jobs []Job, seed uint64) []Job {
+	if seed == 0 {
+		seed = 1
+	}
+	for i := range jobs {
+		stampChannel(&jobs[i].Chain, i, jobs[i].Arrival, seed)
+	}
+	return jobs
+}
+
+// Mobile converts a chain configuration into its mobile-UE variant:
+// fading over the named profile at dopplerHz. It is the puschd
+// -channel/-doppler entry point; the returned base makes every
+// generator stamp per-UE link state via stampChannel.
+func Mobile(base pusch.ChainConfig, profile channel.Profile, dopplerHz, ricianK float64) pusch.ChainConfig {
+	base.Channel.Profile = profile
+	base.Channel.DopplerHz = dopplerHz
+	base.Channel.RicianK = ricianK
+	return base
+}
 
 // trafficRNG builds the deterministic arrival-process generator for a
 // trace seed (0 is pinned to 1 so the zero value still reproduces).
@@ -27,6 +92,7 @@ func stampJob(prefix string, i int, arrival int64, seed uint64, cfg pusch.ChainC
 	if cfg.Seed == 0 {
 		cfg.Seed = jobSeed(seed, i)
 	}
+	stampChannel(&cfg, i, arrival, seed)
 	return Job{
 		Name:    fmt.Sprintf("%s-%03d", prefix, i),
 		Arrival: arrival,

@@ -73,3 +73,41 @@ func TestPublicUseCase(t *testing.T) {
 		t.Errorf("shares %v", sh)
 	}
 }
+
+// TestChannelFacade exercises the fading-subsystem re-exports: profile
+// parsing, the PDP tables, link-curve generation and an end-to-end
+// chain run over a TDL profile through the public surface only.
+func TestChannelFacade(t *testing.T) {
+	p, err := pusch.ParseChannelProfile("tdl-b")
+	if err != nil || p != pusch.ChannelTDLB {
+		t.Fatalf("ParseChannelProfile(tdl-b) = %q, %v", p, err)
+	}
+	if got := len(pusch.ChannelPDP(pusch.ChannelTDLC)); got != 24 {
+		t.Errorf("TDL-C PDP has %d taps, want 24", got)
+	}
+	if fd := pusch.DopplerFromSpeed(30, 3.5); fd < 90 || fd > 105 {
+		t.Errorf("DopplerFromSpeed(30, 3.5) = %g Hz", fd)
+	}
+	base := pusch.ChainConfig{
+		NSC: 64, NR: 4, NB: 4, NL: 2,
+		NSymb: 3, NPilot: 2,
+		Scheme:  waveform.QPSK,
+		Channel: pusch.ChannelSpec{DopplerHz: 30},
+	}
+	scens := pusch.LinkCurves(base, []pusch.ChannelProfile{pusch.ChannelTDLA}, 20, 24, 4)
+	if len(scens) != 2 {
+		t.Fatalf("%d scenarios, want 2", len(scens))
+	}
+	res := pusch.RunCampaign(&pusch.Runner{Workers: 1}, scens)
+	for _, r := range res {
+		if r.Error != "" {
+			t.Fatalf("%s: %s", r.Scenario, r.Error)
+		}
+		if r.Channel != "tdl-a" || r.DopplerHz != 30 {
+			t.Errorf("%s: channel %q/%g", r.Scenario, r.Channel, r.DopplerHz)
+		}
+	}
+	if len(pusch.ProfileSweep(base, pusch.ChannelProfiles)) != 4 {
+		t.Error("ProfileSweep over all named profiles should yield 4 scenarios")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/campaign"
+	"repro/internal/channel"
 	"repro/internal/engine"
 	"repro/internal/pusch"
 	"repro/internal/report"
@@ -40,7 +41,19 @@ type (
 	ServiceSummary = report.ServiceSummary
 	// PoolStats is the machine-pool occupancy picture.
 	PoolStats = engine.PoolStats
+	// ChannelSpec selects the fading model of one slot (profile,
+	// Doppler, Rician K, per-UE fading seed, channel time).
+	ChannelSpec = channel.Spec
+	// ChannelProfile names a fading power-delay profile ("iid",
+	// "tdl-a", "tdl-b", "tdl-c").
+	ChannelProfile = channel.Profile
+	// LinkState is one UE's coherently evolving channel realization.
+	LinkState = channel.LinkState
 )
+
+// DefaultUEPopulation is the number of distinct mobile-UE fading
+// identities generated traffic cycles through.
+const DefaultUEPopulation = sched.DefaultUEPopulation
 
 // Job outcomes.
 const (
@@ -51,6 +64,13 @@ const (
 
 // DefaultQueueDepth is the scheduler's default bounded-queue capacity.
 const DefaultQueueDepth = sched.DefaultQueueDepth
+
+// MobileChain converts a chain configuration into its mobile-UE
+// variant (fading over the named profile at dopplerHz): traces
+// generated from it attach per-UE evolving link state to every job.
+func MobileChain(base pusch.ChainConfig, profile ChannelProfile, dopplerHz, ricianK float64) pusch.ChainConfig {
+	return sched.Mobile(base, profile, dopplerHz, ricianK)
+}
 
 // PoissonTrace draws n slot jobs with memoryless arrivals at ratePerMs
 // slots per millisecond of simulated time.

@@ -1,23 +1,33 @@
-// Command benchgate is the deterministic cycle-regression gate: it runs
-// the quick experiment subset (or loads a previously emitted document)
-// and diffs it, record by record and cycle by cycle, against the
-// committed baseline. Because the simulator is bit-reproducible, the
-// comparison is exact — any drift is a real performance change, so the
-// gate fails on a single cycle of difference in either direction.
+// Command benchgate is the deterministic performance gate: it runs the
+// quick experiment subset (or loads a previously emitted document) and
+// diffs it, record by record and cycle by cycle, against the committed
+// baseline, then runs the spatial-pipelining layout gate. Because the
+// simulator is bit-reproducible, the baseline comparison is exact — any
+// drift is a real performance change, so the gate fails on a single
+// cycle of difference in either direction.
+//
+// The layout gate sweeps chain-stage partition layouts (sequential plus
+// the default partition-split ladder) over the small-allocation gate
+// slot on stock MemPool and requires the best pipelined layout's slot
+// throughput to be at least the sequential layout's: the spatially
+// pipelined executor must keep paying for itself. The sweep's slot
+// records are included in the -out document, so the CI artifact carries
+// the per-layout Gb/s trajectory.
 //
 // Usage:
 //
 //	benchgate [-baseline testdata/baseline_kernels.json]
 //	          [-fresh BENCH.json] [-out BENCH_2026-07-26.json]
 //
-// With no -fresh, benchgate runs the quick subset itself. -out
-// additionally writes the fresh document (the CI workflow uploads it as
-// the per-commit benchmark artifact).
+// With no -fresh, benchgate runs the quick subset itself (the layout
+// gate always runs live). -out additionally writes the fresh document
+// (the CI workflow uploads it as the per-commit benchmark artifact).
 //
-// Exit status: 0 when the tree reproduces the baseline exactly, 1 on
-// drift (the report distinguishes regressions from improvements — both
-// gate, because baselines must be regenerated deliberately with
-// `go run ./cmd/kernelbench -update-baseline`), 2 on operational errors.
+// Exit status: 0 when the tree reproduces the baseline exactly and the
+// layout gate holds, 1 on kernel drift (the report distinguishes
+// regressions from improvements — both gate, because baselines must be
+// regenerated deliberately with `go run ./cmd/kernelbench
+// -update-baseline`) or a layout-gate failure, 2 on operational errors.
 package main
 
 import (
@@ -26,9 +36,63 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/arch"
 	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/engine"
+	"repro/internal/pusch"
 	"repro/internal/report"
+	"repro/internal/waveform"
 )
+
+// gateChain is the layout-gate slot: a small PRB allocation (64
+// subcarriers) on stock MemPool, where per-kernel parallelism saturates
+// well below the cluster size — exactly the regime the spatially
+// pipelined layouts exist for.
+func gateChain() pusch.ChainConfig {
+	return pusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 16, NB: 8, NL: 4,
+		NSymb: 14, NPilot: 2,
+		Scheme: waveform.QPSK,
+		SNRdB:  20,
+		Seed:   1,
+	}
+}
+
+// runLayoutSweep measures the gate slot under every layout of the
+// default sweep and returns the slot records in sweep order.
+func runLayoutSweep() ([]report.SlotRecord, error) {
+	pool := engine.NewMachines()
+	var recs []report.SlotRecord
+	for _, sc := range campaign.LayoutSweep(gateChain(), nil) {
+		cfg := *sc.Chain
+		m := pool.Get(cfg.Cluster)
+		rec, err := pusch.RunChainRecordOn(m, cfg)
+		pool.Put(m)
+		if err != nil {
+			return nil, fmt.Errorf("layout sweep %s: %w", sc.Name, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// layoutVerdict finds the sequential reference and the best pipelined
+// layout in the sweep records and reports whether the gate holds.
+func layoutVerdict(recs []report.SlotRecord) (seq, best report.SlotRecord, ok bool) {
+	found := false
+	for _, r := range recs {
+		switch {
+		case r.Layout == "":
+			seq = r
+		case !found || r.ThroughputGbps > best.ThroughputGbps:
+			best = r
+			found = true
+		}
+	}
+	return seq, best, found && best.ThroughputGbps >= seq.ThroughputGbps
+}
 
 func main() {
 	log.SetFlags(0)
@@ -65,6 +129,15 @@ func main() {
 		fresh.Kernels = records
 	}
 
+	// Layout gate: always measured live (it is cheap and relational, not
+	// baseline-pinned). The sweep records ride along in the artifact.
+	sweep, err := runLayoutSweep()
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	fresh.Slots = sweep
+
 	if *outPath != "" {
 		if err := fresh.WriteFile(*outPath); err != nil {
 			log.Print(err)
@@ -72,9 +145,23 @@ func main() {
 		}
 	}
 
-	drifts := report.Diff(base, fresh)
-	if len(drifts) == 0 {
-		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle\n",
+	// The committed baseline pins kernel records only; the layout sweep
+	// is gated by the throughput comparison below, so strip slots from
+	// the diffed view to avoid spurious "unexpected record" drift.
+	kernelView := &report.Document{Schema: fresh.Schema, Tool: fresh.Tool, Kernels: fresh.Kernels}
+	drifts := report.Diff(base, kernelView)
+
+	seq, best, layoutOK := layoutVerdict(sweep)
+	gain := 0.0
+	if seq.ThroughputGbps > 0 {
+		gain = 100 * (best.ThroughputGbps/seq.ThroughputGbps - 1)
+	}
+	fmt.Printf("benchgate: layout gate on %s (%d-SC slot): sequential %.4f Gb/s (%d cycles), best pipelined %s %.4f Gb/s (%d cycles, %+.1f%%)\n",
+		seq.Cluster, gateChain().NSC, seq.ThroughputGbps, seq.TotalCycles,
+		best.Layout, best.ThroughputGbps, best.TotalCycles, gain)
+
+	if len(drifts) == 0 && layoutOK {
+		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle, pipelined >= sequential\n",
 			len(fresh.Kernels), *baselinePath)
 		return
 	}
@@ -87,8 +174,13 @@ func main() {
 		}
 		fmt.Printf("%s  %s\n", tag, d)
 	}
-	fmt.Printf("benchgate: FAIL — %d drifting records (%d regressions) against %s\n",
-		len(drifts), regressions, *baselinePath)
-	fmt.Println("benchgate: if the change is intentional, regenerate with: go run ./cmd/kernelbench -update-baseline")
+	if len(drifts) > 0 {
+		fmt.Printf("benchgate: FAIL — %d drifting records (%d regressions) against %s\n",
+			len(drifts), regressions, *baselinePath)
+		fmt.Println("benchgate: if the change is intentional, regenerate with: go run ./cmd/kernelbench -update-baseline")
+	}
+	if !layoutOK {
+		fmt.Println("benchgate: FAIL — best pipelined layout no longer reaches sequential throughput on the gate slot")
+	}
 	os.Exit(1)
 }

@@ -27,6 +27,7 @@
 //	       [-in file|-] [-trace-out file]
 //	       [-cluster mempool|terapool] [-scheme qpsk|16qam|64qam] [-snr dB]
 //	       [-channel iid|tdl-a|tdl-b|tdl-c] [-doppler Hz] [-rician-k K]
+//	       [-layout sequential|pipe|pipe/f64/b32/d64]
 //	       [-servers N] [-queue N] [-workers N] [-seed N]
 //
 // -channel/-doppler/-rician-k put the served cell on a fading channel
@@ -34,6 +35,12 @@
 // mobile UEs whose per-UE link state evolves coherently across their
 // slots, and served records carry the channel coordinates. The default
 // (no flags) keeps the legacy fresh-iid-draw-per-slot channel.
+//
+// -layout maps each served slot's chain stages onto core partitions:
+// "sequential" (default) runs the stages back to back on the whole
+// cluster, "pipe" uses the cluster's stock spatially pipelined split,
+// and "pipe/f<F>/b<B>/d<D>" pins an explicit one. Individual job specs
+// can override it per slot with their own layout field.
 //
 // Examples:
 //
@@ -74,6 +81,7 @@ func main() {
 	channelFlag := flag.String("channel", "", "fading profile: iid, tdl-a, tdl-b or tdl-c (empty = legacy per-slot iid draw)")
 	doppler := flag.Float64("doppler", 0, "maximum Doppler shift in Hz (UE mobility; 0 = static fading)")
 	ricianK := flag.Float64("rician-k", 0, "linear Rician K-factor on the strongest tap (0 = Rayleigh)")
+	layoutFlag := flag.String("layout", "", "default chain-stage core layout: sequential, pipe, or pipe/f<F>/b<B>/d<D>")
 	servers := flag.Int("servers", 1, "virtual slot processors serving the queue in simulated time")
 	queue := flag.Int("queue", sched.DefaultQueueDepth, "bounded wait-queue depth in slots (0 = default, negative = no queue)")
 	workers := flag.Int("workers", 0, "host measurement goroutines (0 = GOMAXPROCS); never affects results")
@@ -98,6 +106,11 @@ func main() {
 		Scheme: scheme,
 		SNRdB:  *snr,
 	}
+	layout, err := pusch.ParseLayout(*layoutFlag, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Layout = layout
 	// An explicit fading profile (or any mobility/LOS parameter) makes
 	// the generators serve mobile UEs: every generated job gets a per-UE
 	// fading identity and an arrival-time channel coordinate, so one

@@ -19,7 +19,7 @@
 // Usage:
 //
 //	puschsim [-cluster terapool|mempool] [-chol-batch 4|16] [-serial] [-full-mimo] [-json]
-//	puschsim -chain [-snr dB] [-channel tdl-b] [-doppler 30]
+//	puschsim -chain [-snr dB] [-channel tdl-b] [-doppler 30] [-layout pipe]
 //	puschsim -campaign snr      [-snr-min 8] [-snr-max 26] [-snr-step 2] [-scheme qpsk]
 //	                            [-workers N] [-seed N]
 //	puschsim -campaign schemes  # modulation x UE-count grid
@@ -27,16 +27,21 @@
 //	puschsim -campaign chol     # use-case Cholesky schedule sweep
 //	puschsim -campaign profiles # fading-profile sweep (iid + TDL-A/B/C)
 //	puschsim -campaign link     # BER-vs-SNR link curves over TDL profiles
+//	puschsim -campaign layouts  # spatial-pipelining layout sweep (per-layout Gb/s)
 //
 // Flags: -cluster picks the simulated cluster for every mode;
 // -chol-batch, -serial, -full-mimo and -json shape the default Fig. 9c
 // mode (-json emits the typed slot record instead of tables); -chain
 // and -snr select the functional slot; -channel and -doppler put chain
 // and campaign runs on a fading channel (internal/channel; empty keeps
-// the legacy per-slot iid draw); -campaign fans a scenario family out
-// across -workers host goroutines with base seed -seed, emitting one
-// JSON line per scenario. To serve slot traffic as a stream rather
-// than run one experiment, see cmd/puschd.
+// the legacy per-slot iid draw); -layout maps the chain stages onto
+// core partitions ("sequential" default, "pipe" for the cluster's
+// stock spatially pipelined split, or an explicit "pipe/f64/b32/d64");
+// -campaign fans a scenario family out across -workers host goroutines
+// with base seed -seed, emitting one JSON line per scenario (the
+// layouts campaign searches partition splits and reports each one's
+// slot throughput). To serve slot traffic as a stream rather than run
+// one experiment, see cmd/puschd.
 package main
 
 import (
@@ -63,8 +68,9 @@ func main() {
 	snr := flag.Float64("snr", 26, "chain mode: SNR in dB")
 	channelFlag := flag.String("channel", "", "fading profile for chain and campaign modes: iid, tdl-a, tdl-b or tdl-c (empty = legacy per-slot iid draw)")
 	doppler := flag.Float64("doppler", 0, "maximum Doppler shift in Hz (0 = static fading)")
+	layoutFlag := flag.String("layout", "", "chain-stage core layout for chain and campaign modes: sequential (default), pipe, or pipe/f<F>/b<B>/d<D>")
 	jsonOut := flag.Bool("json", false, "emit the Fig. 9c result as a typed JSON slot record instead of tables")
-	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters, chol, profiles or link")
+	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters, chol, profiles, link or layouts")
 	snrMin := flag.Float64("snr-min", 8, "campaign snr: first SNR point in dB")
 	snrMax := flag.Float64("snr-max", 26, "campaign snr: last SNR point in dB")
 	snrStep := flag.Float64("snr-step", 2, "campaign snr: SNR increment in dB")
@@ -87,14 +93,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	layout, err := pusch.ParseLayout(*layoutFlag, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *campaignFlag != "" {
-		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, *snrMin, *snrMax, *snrStep, *workers, *seed)
+		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, layout, *snrMin, *snrMax, *snrStep, *workers, *seed)
 		return
 	}
 
 	if *chain {
-		runChain(cluster, *snr, chSpec)
+		runChain(cluster, *snr, chSpec, layout)
 		return
 	}
 
@@ -163,7 +173,7 @@ func channelSpec(name string, dopplerHz float64) (pusch.ChannelSpec, error) {
 // campaignBase is the chain configuration campaigns sweep around: the
 // same reduced-dimension slot the -chain mode runs (the functional path
 // keeps every intermediate buffer resident, bounding NSC).
-func campaignBase(cluster *sim.Config, scheme waveform.Scheme, chSpec pusch.ChannelSpec) pusch.ChainConfig {
+func campaignBase(cluster *sim.Config, scheme waveform.Scheme, chSpec pusch.ChannelSpec, layout pusch.Layout) pusch.ChainConfig {
 	return pusch.ChainConfig{
 		Cluster: cluster,
 		NSC:     256, NR: 16, NB: 8, NL: 4,
@@ -171,10 +181,11 @@ func campaignBase(cluster *sim.Config, scheme waveform.Scheme, chSpec pusch.Chan
 		Scheme:  scheme,
 		SNRdB:   20, // operating point for grids that do not sweep SNR
 		Channel: chSpec,
+		Layout:  layout,
 	}
 }
 
-func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, snrMin, snrMax, snrStep float64, workers int, seed uint64) {
+func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, layout pusch.Layout, snrMin, snrMax, snrStep float64, workers int, seed uint64) {
 	var scheme waveform.Scheme
 	switch strings.ToLower(schemeName) {
 	case "qpsk":
@@ -186,12 +197,17 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 	default:
 		log.Fatalf("unknown scheme %q", schemeName)
 	}
-	base := campaignBase(cluster, scheme, chSpec)
+	base := campaignBase(cluster, scheme, chSpec, layout)
 
 	var scenarios []pusch.Scenario
 	switch mode {
 	case "snr":
 		scenarios = pusch.SNRSweep(base, snrMin, snrMax, snrStep)
+	case "layouts":
+		// Spatial-pipelining search: the sequential reference plus the
+		// default partition-split ladder, each reporting its slot Gb/s.
+		// The base layout flag is ignored — the sweep provides layouts.
+		scenarios = pusch.LayoutSweep(base, nil)
 	case "profiles":
 		// Channel robustness: every fading profile at the base operating
 		// point (use -doppler to put the UEs in motion).
@@ -223,7 +239,7 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 		}
 		scenarios = pusch.CholScheduleSweep(uc, []int{1, 2, 4, 8, 16})
 	default:
-		log.Fatalf("unknown campaign %q (want snr, schemes, clusters, chol, profiles or link)", mode)
+		log.Fatalf("unknown campaign %q (want snr, schemes, clusters, chol, profiles, link or layouts)", mode)
 	}
 
 	if len(scenarios) == 0 {
@@ -235,7 +251,7 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 	}
 }
 
-func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec) {
+func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout pusch.Layout) {
 	res, err := pusch.RunChain(pusch.ChainConfig{
 		Cluster: cluster,
 		NSC:     256, NR: 16, NB: 8, NL: 4,
@@ -244,6 +260,7 @@ func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec) {
 		SNRdB:   snr,
 		Seed:    1,
 		Channel: chSpec,
+		Layout:  layout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -252,11 +269,15 @@ func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec) {
 	if !chSpec.Legacy() {
 		ch = fmt.Sprintf("%s at %g Hz Doppler", chSpec.EffectiveProfile(), chSpec.DopplerHz)
 	}
-	fmt.Printf("functional slot on %s, %s channel, %.0f dB SNR: BER %.2e, EVM %.1f dB, sigma^2 %.2e\n",
-		cluster.Name, ch, snr, res.BER, res.EVMdB, res.SigmaEst)
+	fmt.Printf("functional slot on %s, %s channel, %s layout, %.0f dB SNR: BER %.2e, EVM %.1f dB, sigma^2 %.2e\n",
+		cluster.Name, ch, layout, snr, res.BER, res.EVMdB, res.SigmaEst)
 	fmt.Printf("%d cycles (%.3f ms at 1 GHz)\n", res.TotalCycles, res.TimeMs)
+	kind := "cycles"
+	if layout.Pipelined() {
+		kind = "cycles of partition occupancy"
+	}
 	for _, st := range pusch.Stages {
 		rep := res.Stages[st]
-		fmt.Printf("  %-46s %8d cycles\n", st, rep.Wall)
+		fmt.Printf("  %-46s %8d %s\n", st, rep.Wall, kind)
 	}
 }

@@ -16,9 +16,12 @@
 //     bit-exact against serial fixed-point golden models;
 //   - pusch: the Table I / Fig. 3 complexity model, the end-to-end
 //     functional receive chain (whole, or as its SlotTX / Pipeline /
-//     ScoreSlot stages), the Fig. 9c slot-budget experiment, and the
-//     campaign engine that sweeps scenario families in parallel on
-//     pooled simulator machines;
+//     ScoreSlot stages) with layout-driven execution — the sequential
+//     schedule of the paper, or spatially pipelined Layouts that
+//     partition the cores among concurrent stages and overlap
+//     consecutive OFDM symbols — the Fig. 9c slot-budget experiment,
+//     and the campaign engine that sweeps scenario families (including
+//     layout splits) in parallel on pooled simulator machines;
 //   - waveform, fixedpoint: the transmit/channel substrate and the
 //     packed Q1.15 arithmetic;
 //   - internal/channel (re-exported via pusch and sim): the fading
@@ -34,8 +37,11 @@
 //     blends, optionally over fading channels with mobile UEs) and
 //     reports offered/served Gb/s, queue-wait cycles and drops,
 //     byte-reproducibly;
-//   - cmd/benchgate: the deterministic cycle-regression gate that diffs
-//     a fresh run against the committed testdata/baseline_*.json.
+//   - cmd/benchgate: the deterministic performance gate — it diffs a
+//     fresh run against the committed testdata/baseline_*.json cycle
+//     for cycle and enforces the layout gate (the best pipelined
+//     layout's slot throughput must stay at or above the sequential
+//     layout's on the small-allocation gate slot).
 //
 // The layer-by-layer map of the codebase — tcdm memory model up through
 // engine, kernels, chain, campaign/scheduler, telemetry and the

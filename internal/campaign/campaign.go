@@ -52,6 +52,10 @@ type Result struct {
 	// pre-subsystem wire bytes.
 	Channel   string  `json:"channel,omitempty"`
 	DopplerHz float64 `json:"doppler_hz,omitempty"`
+	// Layout is the chain's stage-to-partition mapping coordinate
+	// ("pipe/f64/b32/d64" splits); omitted for sequential runs, keeping
+	// the pre-layout wire bytes.
+	Layout string `json:"layout,omitempty"`
 
 	BER      float64 `json:"ber"`
 	EVMdB    float64 `json:"evm_db"`
@@ -116,6 +120,9 @@ func (s *Scenario) runChain(pool *engine.Machines, seed uint64) Result {
 	if !cfg.Channel.Legacy() {
 		res.Channel = string(cfg.Channel.EffectiveProfile())
 		res.DopplerHz = cfg.Channel.DopplerHz
+	}
+	if cfg.Layout.Pipelined() {
+		res.Layout = cfg.Layout.String()
 	}
 	// Validate before pool.Get: NewMachine panics on broken cluster
 	// configs, and a bad scenario must surface as Result.Error, not

@@ -125,6 +125,69 @@ func LinkCurves(base pusch.ChainConfig, profiles []channel.Profile, minDB, maxDB
 	return out
 }
 
+// DefaultLayoutSplits proposes the (fft, bf, det) partition splits a
+// layout sweep searches on one cluster: a deterministic ladder of
+// power-of-two fractions of the core count, filtered to splits the
+// chain can schedule (the FFT partition must host at least one
+// NSC-point transform, nsc/16 lanes). Splits need not cover the
+// cluster — leaving cores idle is part of the search space, since at
+// small slot dimensions enrolling every core costs more barrier
+// traffic than its work is worth.
+func DefaultLayoutSplits(cluster *arch.Config, nsc int) [][3]int {
+	c := cluster.NumCores()
+	lanes := nsc / 16
+	candidates := [][3]int{
+		{c / 2, c / 4, c / 4}, // the stock pipelined split
+		{c / 4, c / 8, c / 4},
+		{c / 4, c / 8, c / 2},
+		{c / 8, c / 8, c / 4},
+		{c / 4, c / 4, c / 2},
+		{c / 8, c / 16, c / 8},
+	}
+	var out [][3]int
+	seen := make(map[[3]int]bool)
+	for _, sp := range candidates {
+		f, b, d := sp[0], sp[1], sp[2]
+		if f < lanes || b <= 0 || d <= 0 || f+b+d > c || seen[sp] {
+			continue
+		}
+		seen[sp] = true
+		out = append(out, sp)
+	}
+	return out
+}
+
+// LayoutSweep returns the sequential reference plus one pipelined chain
+// scenario per partition split: the family behind throughput-versus-
+// layout comparisons of the spatially pipelined chain. splits nil uses
+// DefaultLayoutSplits for the base cluster; splits the cluster cannot
+// host are dropped (DefaultLayoutSplits never proposes one).
+func LayoutSweep(base pusch.ChainConfig, splits [][3]int) []Scenario {
+	proto := base.Cluster
+	if proto == nil {
+		proto = arch.MemPool()
+	}
+	if splits == nil {
+		splits = DefaultLayoutSplits(proto, base.NSC)
+	}
+	seq := base
+	seq.Layout = pusch.Sequential
+	out := []Scenario{{Name: "layout-sequential", Chain: &seq}}
+	for _, sp := range splits {
+		lay, err := pusch.PipelinedSplit(proto, sp[0], sp[1], sp[2])
+		if err != nil {
+			continue
+		}
+		cfg := base
+		cfg.Layout = lay
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("layout-%s", lay),
+			Chain: &cfg,
+		})
+	}
+	return out
+}
+
 // CholScheduleSweep returns one use-case scenario per Cholesky batching
 // depth (the paper's green-versus-red schedule comparison, generalized),
 // all on the same cluster.

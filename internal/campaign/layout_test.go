@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pusch"
+	"repro/internal/waveform"
+)
+
+// layoutBase is small enough to sweep quickly but large enough that
+// every partition of the default splits gets real work.
+func layoutBase() pusch.ChainConfig {
+	return pusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 8, NB: 8, NL: 2,
+		NSymb: 4, NPilot: 2,
+		Scheme: waveform.QPSK,
+		SNRdB:  20,
+	}
+}
+
+func TestLayoutSweepGenerator(t *testing.T) {
+	scens := LayoutSweep(layoutBase(), nil)
+	if len(scens) < 3 {
+		t.Fatalf("LayoutSweep produced only %d scenarios", len(scens))
+	}
+	if scens[0].Name != "layout-sequential" || scens[0].Chain.Layout.Pipelined() {
+		t.Fatalf("first scenario %q must be the sequential reference", scens[0].Name)
+	}
+	if got := scens[1].Name; got != "layout-pipe/f128/b64/d64" {
+		t.Errorf("first pipelined scenario %q, want the stock split", got)
+	}
+	for _, s := range scens[1:] {
+		if !s.Chain.Layout.Pipelined() {
+			t.Errorf("scenario %q is not pipelined", s.Name)
+		}
+		if !strings.HasPrefix(s.Name, "layout-pipe/") {
+			t.Errorf("scenario name %q does not carry the layout coordinate", s.Name)
+		}
+	}
+	// Explicit splits the cluster cannot host are dropped, not panicked.
+	if got := LayoutSweep(layoutBase(), [][3]int{{1 << 20, 1, 1}}); len(got) != 1 {
+		t.Errorf("oversized split produced %d scenarios, want the sequential reference only", len(got))
+	}
+}
+
+// TestLayoutSweepDeterministicAcrossWorkers requires byte-identical
+// JSONL output for the layout sweep regardless of the host worker
+// count: the pipelined executor must be as replay-stable as the
+// sequential one.
+func TestLayoutSweepDeterministicAcrossWorkers(t *testing.T) {
+	scens := LayoutSweep(layoutBase(), [][3]int{{16, 8, 16}, {32, 16, 32}})
+	var first string
+	for _, workers := range []int{1, 3} {
+		var buf bytes.Buffer
+		r := &Runner{Workers: workers, Seed: 5}
+		if err := r.WriteJSONL(&buf, scens); err != nil {
+			t.Fatal(err)
+		}
+		if first == "" {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("layout sweep output differs between 1 and %d workers", workers)
+		}
+	}
+	// Pipelined lines carry the layout coordinate; the sequential
+	// reference omits it.
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if strings.Contains(lines[0], `"layout"`) {
+		t.Errorf("sequential line carries a layout coordinate: %s", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, `"layout":"pipe/`) {
+			t.Errorf("pipelined line misses the layout coordinate: %s", line)
+		}
+		if !strings.Contains(line, `"throughput_gbps"`) {
+			t.Errorf("layout line misses throughput: %s", line)
+		}
+	}
+}

@@ -45,6 +45,13 @@ type Job struct {
 	Name   string
 	Cores  []int
 	Phases []Phase
+	// NotBefore is the earliest simulated cycle at which the job's cores
+	// may start phase 0. Cores that are still earlier wait in WFI until
+	// then — the producer→consumer handshake between core partitions of a
+	// spatially pipelined chain (a consumer partition polls the producer
+	// partition's done-flag before touching the shared buffer). Zero means
+	// no constraint.
+	NotBefore int64
 }
 
 // Machine is one simulated cluster instance.
@@ -306,6 +313,14 @@ func (m *Machine) Run(jobs ...Job) error {
 		job := &jobs[ji]
 		cores := append([]int(nil), job.Cores...)
 		sort.Ints(cores)
+		if job.NotBefore > 0 {
+			for _, core := range cores {
+				if m.coreTime[core] < job.NotBefore {
+					m.coreStats[core].WfiStalls += job.NotBefore - m.coreTime[core]
+					m.coreTime[core] = job.NotBefore
+				}
+			}
+		}
 		barSlot := ji % m.Cfg.BanksPerTile()
 		for pi := range job.Phases {
 			ph := &job.Phases[pi]
@@ -413,33 +428,79 @@ func (m *Machine) Run(jobs ...Job) error {
 }
 
 // ClusterBarrier synchronizes every core in the cluster to a common
-// release time, attributing the wait as WFI stalls. The PUSCH chain
-// calls it between processing stages. It also retires old bank
-// reservations, bounding simulator memory.
-func (m *Machine) ClusterBarrier() {
+// release time, attributing the wait as WFI stalls. The PUSCH chain's
+// sequential layout calls it between processing stages. It also retires
+// old bank reservations, bounding simulator memory.
+func (m *Machine) ClusterBarrier() { m.Barrier(nil) }
+
+// Barrier synchronizes a core partition (nil means every core) to a
+// common release time without involving the rest of the cluster: the
+// per-partition barrier of the spatially pipelined chain, where each
+// stage's partition syncs on its own counter while the other partitions
+// keep running. Costs mirror ClusterBarrier — a 3-instruction entry
+// sequence per core, then the hierarchical climb and the cheapest wake
+// trigger covering the partition.
+func (m *Machine) Barrier(cores []int) {
+	if cores == nil {
+		cores = make([]int, len(m.coreTime))
+		for i := range cores {
+			cores[i] = i
+		}
+	}
 	var last int64
-	arrive := make([]int64, len(m.coreTime))
-	for c := range m.coreTime {
+	arrive := make([]int64, len(cores))
+	for i, c := range cores {
 		// Entry sequence: increment + branch + wfi.
 		m.coreStats[c].Instrs += 3
 		m.coreStats[c].IAlu += 3
-		arrive[c] = m.coreTime[c] + 3
-		if arrive[c] > last {
-			last = arrive[c]
+		arrive[i] = m.coreTime[c] + 3
+		if arrive[i] > last {
+			last = arrive[i]
 		}
 	}
-	all := make([]int, len(m.coreTime))
-	for i := range all {
-		all[i] = i
-	}
-	release := last + m.climbCost(all) + m.wakeCost(all)
-	for c := range m.coreTime {
-		m.coreStats[c].WfiStalls += release - arrive[c]
+	release := last + m.climbCost(cores) + m.wakeCost(cores)
+	for i, c := range cores {
+		m.coreStats[c].WfiStalls += release - arrive[i]
 		m.coreTime[c] = release
 	}
-	if release > 1<<13 {
-		m.Mem.Res.Retire(release - 1<<13)
+	m.TrimReservations()
+}
+
+// TrimReservations retires bank-reservation pages no core can book
+// again: pages older than the slowest core anywhere in the cluster
+// (minus a page-sized safety window), since per-core clocks only move
+// forward. Cluster-wide barriers call it implicitly; the pipelined
+// chain executor, which never runs one, calls it once per beat to
+// bound simulator memory over long runs. For a cluster-wide barrier
+// the minimum is the release time itself, preserving the original
+// retire behaviour.
+func (m *Machine) TrimReservations() {
+	low := m.coreTime[0]
+	for _, t := range m.coreTime {
+		if t < low {
+			low = t
+		}
 	}
+	if low > 1<<13 {
+		m.Mem.Res.Retire(low - 1<<13)
+	}
+}
+
+// MaxTime returns the maximum current cycle across the given cores (nil
+// means every core): the finish time of whatever a partition last ran.
+// The pipelined chain executor reads it to schedule the NotBefore
+// handshake of downstream partitions.
+func (m *Machine) MaxTime(cores []int) int64 {
+	if cores == nil {
+		return m.Cycles()
+	}
+	var max int64
+	for _, c := range cores {
+		if m.coreTime[c] > max {
+			max = m.coreTime[c]
+		}
+	}
+	return max
 }
 
 // AlignCores fast-forwards every core to the cluster-wide maximum time

@@ -41,6 +41,21 @@ type Plan struct {
 // non-nil, reuses an existing sc-major beam buffer (the beamforming
 // stage's output) instead of allocating one.
 func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, yExternal *arch.Addr) (*Plan, error) {
+	if coreCount <= 0 || coreCount > m.Cfg.NumCores() {
+		return nil, fmt.Errorf("chest: %d cores requested, cluster has %d", coreCount, m.Cfg.NumCores())
+	}
+	set := make([]int, coreCount)
+	for i := range set {
+		set[i] = i
+	}
+	return NewPlanOn(m, set, nsc, nb, nl, yExternal)
+}
+
+// NewPlanOn is NewPlan on an explicit core set instead of the first
+// coreCount cores of the cluster, so a chain layout can pin channel
+// estimation to its own partition.
+func NewPlanOn(m *engine.Machine, cores []int, nsc, nb, nl int, yExternal *arch.Addr) (*Plan, error) {
+	coreCount := len(cores)
 	switch {
 	case nsc <= 0 || nb <= 0 || nl <= 0:
 		return nil, fmt.Errorf("chest: dimensions %d/%d/%d must be positive", nsc, nb, nl)
@@ -70,10 +85,7 @@ func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, yExternal *arch.Addr
 		return nil, fmt.Errorf("chest: sigma: %w", err)
 	}
 	pl.sigmaAddr = sig
-	pl.Cores = make([]int, coreCount)
-	for i := range pl.Cores {
-		pl.Cores[i] = i
-	}
+	pl.Cores = append([]int(nil), cores...)
 	// Residual energies accumulate |r|^2 over a lane's share of NSC*NB
 	// terms; scale so the partial mean stays inside Q1.15.
 	perLane := (nsc + coreCount - 1) / coreCount * nb

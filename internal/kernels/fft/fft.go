@@ -71,7 +71,13 @@ type Plan struct {
 	bufTiles [][]tcdm.TileBlock // [job][tileInJob] folded working storage (A and B interleaved rows)
 	seqBufs  [][2]arch.Addr     // [instance][pingpong] for Interleaved layout
 	jobCores [][]int
-	twWords  []fixed.C15 // host copy of the twiddle table
+	// jobTileIdx maps a global tile id to its index in bufTiles[job]
+	// (-1 when the tile hosts no lane of the job): partitions need not
+	// occupy contiguous tiles, so the folded addressing cannot assume
+	// tile - firstTile. A dense slice, not a map — this sits on the
+	// per-element address-computation path of every butterfly.
+	jobTileIdx [][]int
+	twWords    []fixed.C15 // host copy of the twiddle table
 }
 
 // rowsPerBuf returns the rows each lane's single ping or pong buffer
@@ -83,6 +89,15 @@ const rowsPerButterflySet = 4
 // be a multiple of batch). Lane sets use consecutive cores starting at
 // core 0.
 func NewPlan(m *engine.Machine, n, count, batch int, lay Layout) (*Plan, error) {
+	return NewPlanOn(m, nil, n, count, batch, lay)
+}
+
+// NewPlanOn is NewPlan on an explicit core set: lane sets are carved
+// from cores in order (cores[0..lanes) is job 0, and so on), so a chain
+// layout can pin the FFT stage to its own partition of the cluster. A
+// nil core set uses consecutive cores starting at core 0 — the whole
+// cluster, exactly like NewPlan.
+func NewPlanOn(m *engine.Machine, cores []int, n, count, batch int, lay Layout) (*Plan, error) {
 	s := stages(n)
 	if s < 2 {
 		return nil, fmt.Errorf("fft: size %d is not a power of 4 >= 16", n)
@@ -93,8 +108,14 @@ func NewPlan(m *engine.Machine, n, count, batch int, lay Layout) (*Plan, error) 
 	cfg := m.Cfg
 	lanes := n / 16
 	jobs := count / batch
-	if jobs*lanes > cfg.NumCores() {
-		return nil, fmt.Errorf("fft: %d FFTs of %d points need %d cores, cluster has %d", count, n, jobs*lanes, cfg.NumCores())
+	capacity := cfg.NumCores()
+	pool := "cluster"
+	if cores != nil {
+		capacity = len(cores)
+		pool = "partition"
+	}
+	if jobs*lanes > capacity {
+		return nil, fmt.Errorf("fft: %d FFTs of %d points need %d cores, %s has %d", count, n, jobs*lanes, pool, capacity)
 	}
 	pl := &Plan{
 		N: n, S: s, Lanes: lanes, Jobs: jobs, Batch: batch, Lay: lay,
@@ -119,14 +140,29 @@ func NewPlan(m *engine.Machine, n, count, batch int, lay Layout) (*Plan, error) 
 		}
 		pl.outBase[f] = base
 	}
-	// Core assignment.
+	// Core assignment: lane sets carved from the core set in order.
 	pl.jobCores = make([][]int, jobs)
+	pl.jobTileIdx = make([][]int, jobs)
 	for j := range pl.jobCores {
-		cores := make([]int, lanes)
-		for l := range cores {
-			cores[l] = j*lanes + l
+		set := make([]int, lanes)
+		for l := range set {
+			if cores == nil {
+				set[l] = j*lanes + l
+			} else {
+				set[l] = cores[j*lanes+l]
+			}
 		}
-		pl.jobCores[j] = cores
+		pl.jobCores[j] = set
+	}
+	for j := range pl.jobTileIdx {
+		idx := make([]int, cfg.NumTiles())
+		for i := range idx {
+			idx[i] = -1
+		}
+		for ti, tile := range pl.jobTiles(j) {
+			idx[tile] = ti
+		}
+		pl.jobTileIdx[j] = idx
 	}
 	switch lay {
 	case Folded:
@@ -209,7 +245,7 @@ func (pl *Plan) foldedAddr(job, b, s, i int) arch.Addr {
 	lane, leg, slot := pl.butterflyOf(i, d)
 	core := pl.jobCores[job][lane]
 	tile := cfg.TileOfCore(core)
-	ti := tile - cfg.TileOfCore(pl.jobCores[job][0])
+	ti := pl.jobTileIdx[job][tile]
 	laneInTile := core % cfg.CoresPerTile
 	bank := laneInTile*cfg.BanksPerCore + leg
 	row := (s&1)*rowsPerButterflySet*pl.Batch + b*rowsPerButterflySet + slot
@@ -222,7 +258,7 @@ func (pl *Plan) laneTwAddr(job, lane, s, k, t int) arch.Addr {
 	cfg := pl.m.Cfg
 	core := pl.jobCores[job][lane]
 	tile := cfg.TileOfCore(core)
-	ti := tile - cfg.TileOfCore(pl.jobCores[job][0])
+	ti := pl.jobTileIdx[job][tile]
 	laneInTile := core % cfg.CoresPerTile
 	idx := k*3 + t
 	bank := laneInTile*cfg.BanksPerCore + idx&3

@@ -1,0 +1,62 @@
+package fft
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/fixed"
+	"repro/internal/phy"
+)
+
+// TestPlanOnScatteredPartition runs the folded FFT on a partition of
+// non-contiguous tiles nowhere near core 0 — the placement a pipelined
+// chain layout produces — and checks bit-identical results against the
+// serial golden model. This pins the folded addressing's tile-index
+// mapping, which must not assume contiguous tiles starting at the
+// job's first core.
+func TestPlanOnScatteredPartition(t *testing.T) {
+	cfg := arch.MemPool()
+	m := engine.NewMachine(cfg)
+	m.DebugRaces = true
+	var cores []int
+	for _, tile := range []int{1, 3, 5, 7} {
+		lo, hi := cfg.CoresOfTile(tile)
+		for c := lo; c < hi; c++ {
+			cores = append(cores, c)
+		}
+	}
+	pl, err := NewPlanOn(m, cores, 256, 2, 2, Folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.JobCores(0); got[0] != cores[0] || got[len(got)-1] != cores[len(cores)-1] {
+		t.Fatalf("job cores %v not carved from the partition %v", got, cores)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	inputs := make([][]fixed.C15, 2)
+	for b := 0; b < pl.Batch; b++ {
+		x := randInput(rng, 256)
+		inputs[b] = x
+		if err := pl.WriteInput(0, b, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tw := phy.Twiddles(256)
+	for b := 0; b < pl.Batch; b++ {
+		bitEqual(t, pl.ReadOutput(0, b), phy.FFT(inputs[b], tw), "scattered partition")
+	}
+}
+
+// TestPlanOnTooSmallPartition pins the error for a partition that
+// cannot host the lane demand.
+func TestPlanOnTooSmallPartition(t *testing.T) {
+	m := engine.NewMachine(arch.MemPool())
+	if _, err := NewPlanOn(m, []int{0, 1, 2, 3}, 256, 1, 1, Folded); err == nil {
+		t.Fatal("16-lane FFT accepted a 4-core partition")
+	}
+}

@@ -54,6 +54,22 @@ func scratchRows(nl int) int { return 2*nl + 2 }
 // point at synthetic buffers in tests.
 // yExternal, when non-nil, reuses an existing sc-major beam buffer.
 func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, hAddr func(sc, b int) arch.Addr, sigmaAddr arch.Addr, yExternal *arch.Addr) (*Plan, error) {
+	if coreCount <= 0 || coreCount > m.Cfg.NumCores() {
+		return nil, fmt.Errorf("mimo: %d cores requested, cluster has %d", coreCount, m.Cfg.NumCores())
+	}
+	set := make([]int, coreCount)
+	for i := range set {
+		set[i] = i
+	}
+	return NewPlanOn(m, set, nsc, nb, nl, hAddr, sigmaAddr, yExternal)
+}
+
+// NewPlanOn is NewPlan on an explicit core set instead of the first
+// coreCount cores of the cluster, so a chain layout can pin MIMO
+// detection to its own partition. Per-core scratch folds into the local
+// banks of whatever tiles the set occupies.
+func NewPlanOn(m *engine.Machine, cores []int, nsc, nb, nl int, hAddr func(sc, b int) arch.Addr, sigmaAddr arch.Addr, yExternal *arch.Addr) (*Plan, error) {
+	coreCount := len(cores)
 	switch {
 	case nsc <= 0 || nb <= 0 || nl <= 0:
 		return nil, fmt.Errorf("mimo: dimensions %d/%d/%d must be positive", nsc, nb, nl)
@@ -84,10 +100,7 @@ func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, hAddr func(sc, b int
 		w := fixed.Pack(fixed.FloatToQ15(float64(k)/float64(nl)), 0)
 		m.Mem.Write(pl.wBase+arch.Addr(k), uint32(w))
 	}
-	pl.Cores = make([]int, coreCount)
-	for i := range pl.Cores {
-		pl.Cores[i] = i
-	}
+	pl.Cores = append([]int(nil), cores...)
 	pl.scratch = make([]tcdm.TileBlock, m.Cfg.NumTiles())
 	for _, tile := range tilesOf(m.Cfg, pl.Cores) {
 		blk, err := m.Mem.AllocTileLocal(tile, scratchRows(nl))

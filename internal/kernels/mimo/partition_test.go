@@ -1,0 +1,69 @@
+package mimo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/fixed"
+)
+
+// TestPlanOnOffsetPartition runs the detection pass on a partition far
+// from core 0 and checks bit-identical detected symbols against the
+// zero-based plan of the same width: the per-core scratch folding must
+// work from any tile, not just the first ones.
+func TestPlanOnOffsetPartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	const nsc, nb, nl = 16, 4, 4
+	h := make([]fixed.C15, nsc*nb)
+	for i := range h {
+		h[i] = fixed.Pack(int16(rng.IntN(1<<13)+1024), int16(rng.IntN(1<<13)))
+	}
+	y := make([]fixed.C15, nsc*nb)
+	for i := range y {
+		y[i] = fixed.Pack(int16(rng.IntN(1<<13)), int16(rng.IntN(1<<13)))
+	}
+
+	run := func(cores []int) []fixed.C15 {
+		m := engine.NewMachine(arch.MemPool())
+		m.DebugRaces = true
+		hBase, err := m.Mem.AllocSeq(nsc * nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range h {
+			m.Mem.Write(hBase+arch.Addr(i), uint32(v))
+		}
+		sigma, err := m.Mem.AllocSeq(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.Write(sigma, uint32(fixed.Pack(fixed.FloatToQ15(0.05), 0)))
+		hAddr := func(sc, b int) arch.Addr { return hBase + arch.Addr(sc*nb+b) }
+		var pl *Plan
+		if cores == nil {
+			pl, err = NewPlan(m, nsc, nb, nl, 4, hAddr, sigma, nil)
+		} else {
+			pl, err = NewPlanOn(m, cores, nsc, nb, nl, hAddr, sigma, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.WriteY(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return pl.ReadX()
+	}
+
+	base := run(nil)
+	off := run([]int{200, 201, 202, 203}) // tile 50
+	for i := range base {
+		if base[i] != off[i] {
+			t.Fatalf("x[%d] = %08x on offset partition, want %08x", i, uint32(off[i]), uint32(base[i]))
+		}
+	}
+}

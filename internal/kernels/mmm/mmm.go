@@ -77,6 +77,20 @@ type Plan struct {
 // on the given number of cores (1 = the serial baseline). m must be a
 // multiple of the window rows and p of the window columns.
 func NewPlan(mach *engine.Machine, m, n, p, cores int, opt Options) (*Plan, error) {
+	if cores <= 0 || cores > mach.Cfg.NumCores() {
+		return nil, fmt.Errorf("mmm: %d cores requested, cluster has %d", cores, mach.Cfg.NumCores())
+	}
+	set := make([]int, cores)
+	for i := range set {
+		set[i] = i
+	}
+	return NewPlanOn(mach, set, m, n, p, opt)
+}
+
+// NewPlanOn is NewPlan on an explicit core set instead of the first
+// `cores` cores of the cluster, so a chain layout can pin the
+// beamforming product to its own partition.
+func NewPlanOn(mach *engine.Machine, cores []int, m, n, p int, opt Options) (*Plan, error) {
 	if opt.Window.Rows == 0 {
 		opt.Window = Win4x4
 	}
@@ -88,8 +102,8 @@ func NewPlan(mach *engine.Machine, m, n, p, cores int, opt Options) (*Plan, erro
 		return nil, fmt.Errorf("mmm: m=%d not a multiple of window rows %d", m, w.Rows)
 	case p%w.Cols != 0:
 		return nil, fmt.Errorf("mmm: p=%d not a multiple of window cols %d", p, w.Cols)
-	case cores <= 0 || cores > mach.Cfg.NumCores():
-		return nil, fmt.Errorf("mmm: %d cores requested, cluster has %d", cores, mach.Cfg.NumCores())
+	case len(cores) == 0 || len(cores) > mach.Cfg.NumCores():
+		return nil, fmt.Errorf("mmm: %d cores requested, cluster has %d", len(cores), mach.Cfg.NumCores())
 	}
 	if opt.ZeroShift {
 		opt.Shift = 0
@@ -116,10 +130,7 @@ func NewPlan(mach *engine.Machine, m, n, p, cores int, opt Options) (*Plan, erro
 	} else if pl.cBase, err = mach.Mem.AllocSeq(m * p); err != nil {
 		return nil, fmt.Errorf("mmm: matrix C: %w", err)
 	}
-	pl.Cores = make([]int, cores)
-	for i := range pl.Cores {
-		pl.Cores[i] = i
-	}
+	pl.Cores = append([]int(nil), cores...)
 	return pl, nil
 }
 

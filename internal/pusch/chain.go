@@ -45,6 +45,13 @@ type ChainConfig struct {
 	// stage (better tracking of frequency-selective channels at the cost
 	// of extra loads and multiplies per gathered element).
 	InterpolateChannel bool
+	// Layout maps the chain stages onto core partitions. The zero value
+	// is the sequential layout — every stage spans the whole cluster,
+	// symbols run one at a time — and is cycle-identical to the
+	// pre-layout chain. A pipelined layout executes the stages
+	// concurrently on disjoint partitions with consecutive OFDM symbols
+	// overlapped (see Layout).
+	Layout Layout
 }
 
 // ChainResult summarizes a chain run.
@@ -112,6 +119,11 @@ func (r *ChainResult) Record(cfg ChainConfig) report.SlotRecord {
 		rec.ChannelSeed = cfg.Channel.Seed
 		rec.ChannelTimeMs = cfg.Channel.TimeMs
 	}
+	if cfg.Layout.Pipelined() {
+		// Layout coordinate: which core partitioning executed the slot.
+		// Sequential runs omit it, keeping the pre-layout wire bytes.
+		rec.Layout = cfg.Layout.String()
+	}
 	return rec
 }
 
@@ -155,14 +167,20 @@ func (c *ChainConfig) validate() error {
 	if lanes > c.Cluster.NumCores() {
 		return fmt.Errorf("pusch: one %d-point FFT needs %d lanes, cluster has %d cores", c.NSC, lanes, c.Cluster.NumCores())
 	}
-	return nil
+	return c.Layout.validate(c.Cluster, c.NSC)
 }
 
 // fftBatch chooses how many FFTs share a lane set so all NR transforms
 // fit on the cluster.
 func (c *ChainConfig) fftBatch() (batch int, err error) {
+	return c.fftBatchOn(c.Cluster.NumCores())
+}
+
+// fftBatchOn chooses how many FFTs share a lane set so all NR
+// transforms fit on a partition of the given size.
+func (c *ChainConfig) fftBatchOn(cores int) (batch int, err error) {
 	lanes := c.NSC / 16
-	maxJobs := c.Cluster.NumCores() / lanes
+	maxJobs := cores / lanes
 	if maxJobs == 0 {
 		return 0, fmt.Errorf("pusch: FFT lanes exceed core count")
 	}
@@ -213,6 +231,9 @@ func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
 		if err := pl.RunSymbol(s, tx.RxTime[s]); err != nil {
 			return nil, err
 		}
+	}
+	if err := pl.Drain(); err != nil {
+		return nil, err
 	}
 	lm, err := ScoreSlot(&cfg, tx, pl.Detected())
 	if err != nil {
@@ -270,7 +291,9 @@ type combinePlan struct {
 	gain    uint // noise-floor AGC: sigma word holds sigma^2 * 2^gain
 }
 
-func newCombinePlan(m *engine.Machine, h1, h2 *chest.Plan) (*combinePlan, error) {
+// newCombinePlan lays the combine job out on an explicit core set (nil
+// means every core of the cluster, the sequential layout's choice).
+func newCombinePlan(m *engine.Machine, h1, h2 *chest.Plan, coreSet []int) (*combinePlan, error) {
 	if h1.NSC != h2.NSC || h1.NB != h2.NB {
 		return nil, fmt.Errorf("pusch: mismatched chest plans")
 	}
@@ -279,16 +302,23 @@ func newCombinePlan(m *engine.Machine, h1, h2 *chest.Plan) (*combinePlan, error)
 	if c.hAvg, err = m.Mem.AllocSeq(c.nsc * c.nb); err != nil {
 		return nil, fmt.Errorf("pusch: combine hAvg: %w", err)
 	}
-	cores := m.Cfg.NumCores()
+	cores := len(coreSet)
+	if coreSet == nil {
+		cores = m.Cfg.NumCores()
+	}
 	if c.parts, err = m.Mem.AllocSeq(cores); err != nil {
 		return nil, fmt.Errorf("pusch: combine partials: %w", err)
 	}
 	if c.sigma, err = m.Mem.AllocSeq(1); err != nil {
 		return nil, fmt.Errorf("pusch: combine sigma: %w", err)
 	}
-	c.cores = make([]int, cores)
-	for i := range c.cores {
-		c.cores[i] = i
+	if coreSet == nil {
+		c.cores = make([]int, cores)
+		for i := range c.cores {
+			c.cores[i] = i
+		}
+	} else {
+		c.cores = append([]int(nil), coreSet...)
 	}
 	perLane := (c.nsc + cores - 1) / cores * c.nb
 	for 1<<c.shift < perLane {
@@ -318,8 +348,9 @@ func (c *combinePlan) Sigma() float64 {
 	return fixed.Q15ToFloat(fixed.C15(c.m.Mem.Read(c.sigma)).Re()) / float64(int64(1)<<c.gain)
 }
 
-// Run executes the combine job.
-func (c *combinePlan) Run() error {
+// Job builds the combine job: the per-subcarrier average plus noise
+// accumulation, then the lane-0 reduction into the sigma word.
+func (c *combinePlan) Job() engine.Job {
 	lanes := len(c.cores)
 	combineWork := func(p *engine.Proc) {
 		per := (c.nsc + lanes - 1) / lanes
@@ -359,12 +390,15 @@ func (c *combinePlan) Run() error {
 		sigma := p.CHalf(p.Narrow(acc, shift))
 		p.Store(c.sigma, sigma)
 	}
-	return c.m.Run(engine.Job{
+	return engine.Job{
 		Name:  "ne-combine",
 		Cores: c.cores,
 		Phases: []engine.Phase{
 			{Name: "combine", Kernel: "ne/combine", Lines: 8, Work: combineWork},
 			{Name: "reduce", Kernel: "ne/reduce", Lines: 4, Work: reduceWork},
 		},
-	})
+	}
 }
+
+// Run executes the combine job.
+func (c *combinePlan) Run() error { return c.m.Run(c.Job()) }

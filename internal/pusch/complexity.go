@@ -2,7 +2,12 @@
 // of the paper: the complexity model of Section II (Table I, Fig. 3),
 // the end-to-end functional chain (FFT -> beamforming -> channel and
 // noise estimation -> MIMO detection) running on the cluster simulator,
-// and the Fig. 9c use-case runner.
+// and the Fig. 9c use-case runner. Chain execution is layout-driven
+// (Layout): the sequential layout reproduces the paper's
+// stage-after-stage schedule on the whole cluster, while pipelined
+// layouts partition the cores among concurrent stages and overlap
+// consecutive OFDM symbols — the spatial pipelining of the SDR
+// follow-up papers.
 package pusch
 
 import (

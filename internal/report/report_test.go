@@ -228,3 +228,27 @@ func TestSlotKeyDistinguishesChannels(t *testing.T) {
 		t.Errorf("channel-coordinate slots drift against themselves: %v", drifts)
 	}
 }
+
+// TestSlotKeyDistinguishesLayouts: records that differ only in their
+// layout coordinate must not collide — a layout sweep emits one record
+// per partition split at otherwise identical dimensions, and Diff would
+// flag colliding keys as duplicates.
+func TestSlotKeyDistinguishesLayouts(t *testing.T) {
+	mk := func(layout string) SlotRecord {
+		return SlotRecord{Kind: "chain", Cluster: "MemPool", UEs: 4, Scheme: "qpsk",
+			Layout: layout, TotalCycles: 28152, PayloadBits: 4096}
+	}
+	seq := mk("")
+	a, b := mk("pipe/f128/b64/d64"), mk("pipe/f64/b32/d64")
+	if a.Key() == b.Key() {
+		t.Errorf("distinct layouts share key %q", a.Key())
+	}
+	if a.Key() == seq.Key() {
+		t.Error("pipelined and sequential records share a key")
+	}
+	doc := NewDocument("t")
+	doc.Slots = []SlotRecord{seq, a, b}
+	if drifts := Diff(doc, doc); len(drifts) != 0 {
+		t.Errorf("layout-coordinate slots drift against themselves: %v", drifts)
+	}
+}

@@ -71,6 +71,12 @@ type SlotRecord struct {
 	RicianK       float64 `json:"rician_k,omitempty"`
 	ChannelSeed   uint64  `json:"channel_seed,omitempty"`
 	ChannelTimeMs float64 `json:"channel_time_ms,omitempty"`
+
+	// Layout coordinate: how the chain's stages were mapped onto core
+	// partitions ("pipe/f64/b32/d64" style splits for spatially
+	// pipelined runs). Omitted for the sequential layout, whose wire
+	// bytes predate the layout subsystem.
+	Layout string `json:"layout,omitempty"`
 }
 
 // Key returns the stable identity used to match slot records across
@@ -84,6 +90,9 @@ func (r *SlotRecord) Key() string {
 	}
 	if r.Channel != "" {
 		key += "/" + r.Channel
+	}
+	if r.Layout != "" {
+		key += "/" + r.Layout
 	}
 	return key
 }

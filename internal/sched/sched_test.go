@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -226,7 +227,9 @@ func TestTraceGeneratorsDeterministicAndSeeded(t *testing.T) {
 	a := PoissonTrace(base, 20, 5, 7)
 	b := PoissonTrace(base, 20, 5, 7)
 	for i := range a {
-		if a[i] != b[i] {
+		// ChainConfig carries layout core sets, so jobs compare by deep
+		// equality rather than ==.
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("Poisson trace not reproducible at %d", i)
 		}
 	}

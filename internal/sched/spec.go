@@ -46,6 +46,11 @@ type Spec struct {
 	RicianK       float64 `json:"rician_k,omitempty"`
 	ChannelSeed   uint64  `json:"channel_seed,omitempty"`
 	ChannelTimeMs float64 `json:"channel_time_ms,omitempty"`
+
+	// Layout is the chain's stage-to-partition mapping ("sequential",
+	// "pipe" for the job cluster's stock pipelined split, or an explicit
+	// "pipe/f<F>/b<B>/d<D>"). Empty inherits the server default.
+	Layout string `json:"layout,omitempty"`
 }
 
 // ParseScheme maps the wire names to waveform schemes.
@@ -137,6 +142,35 @@ func (sp Spec) Job(defaults pusch.ChainConfig) (Job, error) {
 	if sp.ChannelTimeMs != 0 {
 		cfg.Channel.TimeMs = sp.ChannelTimeMs
 	}
+	if sp.Layout != "" {
+		// Resolve "pipe" against the job's effective cluster (the
+		// scheduler's own fallback for a nil cluster is MemPool).
+		cl := cfg.Cluster
+		if cl == nil {
+			cl = arch.MemPool()
+		}
+		lay, err := pusch.ParseLayout(sp.Layout, cl)
+		if err != nil {
+			return Job{}, err
+		}
+		cfg.Layout = lay
+	} else if sp.Cluster != "" && cfg.Layout.Pipelined() {
+		// The inherited default layout was resolved against the server's
+		// default cluster; a spec that swaps the cluster without pinning a
+		// layout re-resolves the default's canonical split against its own
+		// cluster so partition ids stay in range. A split the new cluster
+		// cannot host (e.g. a TeraPool default served on MemPool) falls
+		// back to the job cluster's stock pipelined split: the operator
+		// asked for pipelined service, and the stock split is what "pipe"
+		// would have resolved to there.
+		if w, err := cfg.Layout.Wire(); err == nil {
+			lay, err := pusch.ParseLayout(w, cfg.Cluster)
+			if err != nil {
+				lay = pusch.StockPipelined(cfg.Cluster)
+			}
+			cfg.Layout = lay
+		}
+	}
 	return Job{Name: sp.Name, Arrival: sp.Arrival, Chain: cfg}, nil
 }
 
@@ -186,6 +220,13 @@ func JobSpec(j Job) (Spec, error) {
 		sp.RicianK = ch.RicianK
 		sp.ChannelSeed = ch.Seed
 		sp.ChannelTimeMs = ch.TimeMs
+	}
+	if j.Chain.Layout.Pipelined() {
+		w, err := j.Chain.Layout.Wire()
+		if err != nil {
+			return Spec{}, err
+		}
+		sp.Layout = w
 	}
 	return sp, nil
 }

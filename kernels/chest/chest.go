@@ -16,3 +16,9 @@ type Plan = chest.Plan
 func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, yExternal *arch.Addr) (*Plan, error) {
 	return chest.NewPlan(m, nsc, nb, nl, coreCount, yExternal)
 }
+
+// NewPlanOn is NewPlan on an explicit core set (a chain-layout
+// partition) instead of the first cores of the cluster.
+func NewPlanOn(m *engine.Machine, cores []int, nsc, nb, nl int, yExternal *arch.Addr) (*Plan, error) {
+	return chest.NewPlanOn(m, cores, nsc, nb, nl, yExternal)
+}

@@ -28,6 +28,12 @@ func NewPlan(m *engine.Machine, n, count, batch int, lay Layout) (*Plan, error) 
 	return fft.NewPlan(m, n, count, batch, lay)
 }
 
+// NewPlanOn is NewPlan with the lane sets carved from an explicit core
+// set (a chain-layout partition) instead of consecutive cores from 0.
+func NewPlanOn(m *engine.Machine, cores []int, n, count, batch int, lay Layout) (*Plan, error) {
+	return fft.NewPlanOn(m, cores, n, count, batch, lay)
+}
+
 // NewSerialPlan allocates reps serial n-point FFTs on one core.
 func NewSerialPlan(m *engine.Machine, core, n, reps int) (*SerialPlan, error) {
 	return fft.NewSerialPlan(m, core, n, reps)

@@ -16,3 +16,9 @@ type Plan = mimo.Plan
 func NewPlan(m *engine.Machine, nsc, nb, nl, coreCount int, hAddr func(sc, b int) arch.Addr, sigmaAddr arch.Addr, yExternal *arch.Addr) (*Plan, error) {
 	return mimo.NewPlan(m, nsc, nb, nl, coreCount, hAddr, sigmaAddr, yExternal)
 }
+
+// NewPlanOn is NewPlan on an explicit core set (a chain-layout
+// partition) instead of the first cores of the cluster.
+func NewPlanOn(m *engine.Machine, cores []int, nsc, nb, nl int, hAddr func(sc, b int) arch.Addr, sigmaAddr arch.Addr, yExternal *arch.Addr) (*Plan, error) {
+	return mimo.NewPlanOn(m, cores, nsc, nb, nl, hAddr, sigmaAddr, yExternal)
+}

@@ -28,3 +28,9 @@ var (
 func NewPlan(mach *engine.Machine, m, n, p, cores int, opt Options) (*Plan, error) {
 	return mmm.NewPlan(mach, m, n, p, cores, opt)
 }
+
+// NewPlanOn is NewPlan on an explicit core set (a chain-layout
+// partition) instead of the first cores of the cluster.
+func NewPlanOn(mach *engine.Machine, cores []int, m, n, p int, opt Options) (*Plan, error) {
+	return mmm.NewPlanOn(mach, cores, m, n, p, opt)
+}

@@ -3,6 +3,7 @@ package pusch
 import (
 	"io"
 
+	"repro/internal/arch"
 	"repro/internal/campaign"
 	"repro/waveform"
 )
@@ -42,6 +43,19 @@ func ClusterScaling(base ChainConfig, groups []int) []Scenario {
 // depth.
 func CholScheduleSweep(base UseCaseConfig, perRound []int) []Scenario {
 	return campaign.CholScheduleSweep(base, perRound)
+}
+
+// LayoutSweep generates the sequential reference plus one pipelined
+// chain scenario per (fft, bf, det) partition split; nil splits uses
+// the default ladder for the base cluster.
+func LayoutSweep(base ChainConfig, splits [][3]int) []Scenario {
+	return campaign.LayoutSweep(base, splits)
+}
+
+// DefaultLayoutSplits proposes the partition splits LayoutSweep
+// searches on one cluster at one FFT size.
+func DefaultLayoutSplits(cluster *arch.Config, nsc int) [][3]int {
+	return campaign.DefaultLayoutSplits(cluster, nsc)
 }
 
 // RunCampaign executes the scenarios and returns results in scenario

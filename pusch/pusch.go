@@ -6,6 +6,7 @@
 package pusch
 
 import (
+	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/pusch"
 	"repro/internal/report"
@@ -34,7 +35,32 @@ type (
 	LinkMetrics = pusch.LinkMetrics
 	// SlotRecord is the typed telemetry record of one slot-level run.
 	SlotRecord = report.SlotRecord
+	// Layout maps the chain stages onto core partitions: the spatial-
+	// pipelining axis. The zero value is the sequential layout.
+	Layout = pusch.Layout
+	// CoreSet is an explicit, ordered set of simulator core ids.
+	CoreSet = pusch.CoreSet
 )
+
+// Sequential is the zero-value layout: every stage on all cores, one
+// symbol at a time, cycle-identical to the pre-layout chain.
+var Sequential = pusch.Sequential
+
+// PipelinedSplit builds the canonical three-way pipelined layout: f
+// cores to the FFT, b to beamforming, d to the shared detection
+// partition (channel estimation, noise combine, MIMO).
+func PipelinedSplit(cluster *arch.Config, f, b, d int) (Layout, error) {
+	return pusch.PipelinedSplit(cluster, f, b, d)
+}
+
+// StockPipelined returns the stock partitioned layout for a cluster.
+func StockPipelined(cluster *arch.Config) Layout { return pusch.StockPipelined(cluster) }
+
+// ParseLayout resolves a layout name ("sequential", "pipe",
+// "pipe/f64/b32/d64") against a cluster.
+func ParseLayout(name string, cluster *arch.Config) (Layout, error) {
+	return pusch.ParseLayout(name, cluster)
+}
 
 // Chain stages in processing order.
 const (

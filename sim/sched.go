@@ -49,7 +49,29 @@ type (
 	ChannelProfile = channel.Profile
 	// LinkState is one UE's coherently evolving channel realization.
 	LinkState = channel.LinkState
+	// ChainLayout maps the PUSCH chain's stages onto core partitions
+	// (spatial pipelining); the zero value is the sequential layout.
+	ChainLayout = pusch.Layout
+	// CoreSet is an explicit, ordered set of simulator core ids.
+	CoreSet = pusch.CoreSet
 )
+
+// SequentialLayout is the zero-value chain layout: every stage on all
+// cores, one symbol at a time.
+var SequentialLayout = pusch.Sequential
+
+// StockPipelinedLayout returns the stock partitioned chain layout for a
+// cluster (a quarter of the cores to the FFT, an eighth to beamforming,
+// a quarter to detection).
+func StockPipelinedLayout(cluster *Config) ChainLayout {
+	return pusch.StockPipelined(cluster)
+}
+
+// ParseChainLayout resolves a layout name ("sequential", "pipe",
+// "pipe/f64/b32/d64") against a cluster.
+func ParseChainLayout(name string, cluster *Config) (ChainLayout, error) {
+	return pusch.ParseLayout(name, cluster)
+}
 
 // DefaultUEPopulation is the number of distinct mobile-UE fading
 // identities generated traffic cycles through.

@@ -14,6 +14,15 @@
 // records are included in the -out document, so the CI artifact carries
 // the per-layout Gb/s trajectory.
 //
+// The cache gate serves a repeated-coordinate mixed trace three times —
+// cold, through a fresh service-time cache, and again through the
+// warmed cache — and requires all three JSONL streams byte-identical
+// with the warm pass all hits: the memoized fast path
+// (internal/timecache) can never silently diverge from the
+// cycle-accurate truth. The warm run's summary (host slots/sec, cache
+// hit rate) is embedded in the -out document as the artifact's
+// "service" section.
+//
 // Usage:
 //
 //	benchgate [-baseline testdata/baseline_kernels.json]
@@ -24,13 +33,15 @@
 // (the CI workflow uploads it as the per-commit benchmark artifact).
 //
 // Exit status: 0 when the tree reproduces the baseline exactly and the
-// layout gate holds, 1 on kernel drift (the report distinguishes
-// regressions from improvements — both gate, because baselines must be
-// regenerated deliberately with `go run ./cmd/kernelbench
-// -update-baseline`) or a layout-gate failure, 2 on operational errors.
+// layout and cache gates hold, 1 on kernel drift (the report
+// distinguishes regressions from improvements — both gate, because
+// baselines must be regenerated deliberately with `go run
+// ./cmd/kernelbench -update-baseline`) or a layout- or cache-gate
+// failure, 2 on operational errors.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +53,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/pusch"
 	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/timecache"
 	"repro/internal/waveform"
 )
 
@@ -76,6 +89,60 @@ func runLayoutSweep() ([]report.SlotRecord, error) {
 		recs = append(recs, rec)
 	}
 	return recs, nil
+}
+
+// cacheGateJobs is the repeated-coordinate mixed trace the cache gate
+// serves: the Table I use-case blend over the gate slot with its
+// payload seed pinned, so the trace revisits only the mix's three
+// distinct scenario coordinates — exactly the regime the service-time
+// cache exists for.
+const cacheGateJobs = 24
+
+func cacheGateTrace() []sched.Job {
+	base := gateChain()
+	return sched.MixedTrace(sched.TableIMix(&base), cacheGateJobs, 2, 1)
+}
+
+// cacheVerdict is the outcome of the cache-exactness gate.
+type cacheVerdict struct {
+	exact   bool    // cached and warm streams byte-equal to cold
+	allHits bool    // the warm pass never touched the simulator
+	speedup float64 // warm host slots/sec over cold
+	warmSum report.ServiceSummary
+}
+
+// runCacheGate serves the mixed trace three times — cold (no cache),
+// with a fresh cache, and again with the now-warm cache — and requires
+// all three JSONL streams byte-identical. The simulator is
+// deterministic, so the comparison is exact: a single differing byte
+// means the fast path diverged from the cycle-accurate truth.
+func runCacheGate() cacheVerdict {
+	trace := cacheGateTrace()
+	serve := func(cache *timecache.Cache) ([]byte, report.ServiceSummary) {
+		s := &sched.Scheduler{Cfg: sched.Config{Servers: 2, Seed: 1, Cache: cache}}
+		var buf bytes.Buffer
+		sum, err := s.WriteJSONL(&buf, trace)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		return buf.Bytes(), sum
+	}
+	coldBytes, coldSum := serve(nil)
+	cache := timecache.New(0)
+	cachedBytes, _ := serve(cache)
+	warmBytes, warmSum := serve(cache)
+	v := cacheVerdict{
+		exact:   bytes.Equal(coldBytes, cachedBytes) && bytes.Equal(coldBytes, warmBytes),
+		warmSum: warmSum,
+	}
+	if h := warmSum.Host; h != nil {
+		v.allHits = h.CacheMisses == 0 && h.CacheHits == int64(len(trace))
+		if coldSum.Host != nil && coldSum.Host.SlotsPerSec > 0 {
+			v.speedup = h.SlotsPerSec / coldSum.Host.SlotsPerSec
+		}
+	}
+	return v
 }
 
 // layoutVerdict finds the sequential reference and the best pipelined
@@ -138,6 +205,12 @@ func main() {
 	}
 	fresh.Slots = sweep
 
+	// Cache-exactness gate: the memoized fast path must reproduce the
+	// cycle-accurate cold path byte for byte. The warm summary (host
+	// slots/sec, cache hit rate) rides along in the artifact.
+	cv := runCacheGate()
+	fresh.Service = &cv.warmSum
+
 	if *outPath != "" {
 		if err := fresh.WriteFile(*outPath); err != nil {
 			log.Print(err)
@@ -160,8 +233,15 @@ func main() {
 		seq.Cluster, gateChain().NSC, seq.ThroughputGbps, seq.TotalCycles,
 		best.Layout, best.ThroughputGbps, best.TotalCycles, gain)
 
-	if len(drifts) == 0 && layoutOK {
-		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle, pipelined >= sequential\n",
+	cacheOK := cv.exact && cv.allHits
+	if h := cv.warmSum.Host; h != nil {
+		fmt.Printf("benchgate: cache gate on the %d-job mixed trace: cached bytes %s cold, warm pass %d hits / %d misses, host %.0f slots/s (%.1fx cold)\n",
+			cacheGateJobs, map[bool]string{true: "==", false: "!="}[cv.exact],
+			h.CacheHits, h.CacheMisses, h.SlotsPerSec, cv.speedup)
+	}
+
+	if len(drifts) == 0 && layoutOK && cacheOK {
+		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle, pipelined >= sequential, cached replay exact\n",
 			len(fresh.Kernels), *baselinePath)
 		return
 	}
@@ -181,6 +261,13 @@ func main() {
 	}
 	if !layoutOK {
 		fmt.Println("benchgate: FAIL — best pipelined layout no longer reaches sequential throughput on the gate slot")
+	}
+	if !cacheOK {
+		if !cv.exact {
+			fmt.Println("benchgate: FAIL — cached mixed-trace replay is not byte-identical to the cold run")
+		} else {
+			fmt.Println("benchgate: FAIL — warm cache pass missed (every gate-trace coordinate should be memoized)")
+		}
 	}
 	os.Exit(1)
 }

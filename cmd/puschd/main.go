@@ -28,7 +28,15 @@
 //	       [-cluster mempool|terapool] [-scheme qpsk|16qam|64qam] [-snr dB]
 //	       [-channel iid|tdl-a|tdl-b|tdl-c] [-doppler Hz] [-rician-k K]
 //	       [-layout sequential|pipe|pipe/f64/b32/d64]
+//	       [-cache] [-cache-cap N] [-cache-file file]
 //	       [-servers N] [-queue N] [-workers N] [-seed N]
+//
+// -cache memoizes measured slot service times by scenario coordinate
+// (internal/timecache): repeated coordinates — trace replays, warm
+// starts — skip the cycle-accurate simulation entirely, with
+// byte-identical output (the cache is exact by construction).
+// -cache-file warm-starts the cache from a JSONL file and saves it
+// back after serving, so a second run of the same trace is all hits.
 //
 // -channel/-doppler/-rician-k put the served cell on a fading channel
 // (internal/channel): generated jobs are assigned to a population of
@@ -61,6 +69,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/pusch"
 	"repro/internal/sched"
+	"repro/internal/timecache"
 )
 
 func main() {
@@ -82,6 +91,9 @@ func main() {
 	doppler := flag.Float64("doppler", 0, "maximum Doppler shift in Hz (UE mobility; 0 = static fading)")
 	ricianK := flag.Float64("rician-k", 0, "linear Rician K-factor on the strongest tap (0 = Rayleigh)")
 	layoutFlag := flag.String("layout", "", "default chain-stage core layout: sequential, pipe, or pipe/f<F>/b<B>/d<D>")
+	cacheFlag := flag.Bool("cache", false, "memoize slot service times by scenario coordinate (exact: cached replay is byte-identical)")
+	cacheCap := flag.Int("cache-cap", 0, "service-time cache capacity in entries (0 = default)")
+	cacheFile := flag.String("cache-file", "", "warm-start the service-time cache from this JSONL file and save it back after serving (implies -cache)")
 	servers := flag.Int("servers", 1, "virtual slot processors serving the queue in simulated time")
 	queue := flag.Int("queue", sched.DefaultQueueDepth, "bounded wait-queue depth in slots (0 = default, negative = no queue)")
 	workers := flag.Int("workers", 0, "host measurement goroutines (0 = GOMAXPROCS); never affects results")
@@ -144,15 +156,35 @@ func main() {
 		}
 	}
 
+	var cache *timecache.Cache
+	if *cacheFlag || *cacheFile != "" {
+		cache = timecache.New(*cacheCap)
+		if *cacheFile != "" {
+			added, rejected, err := cache.LoadFile(*cacheFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if added > 0 || rejected > 0 {
+				fmt.Fprintf(os.Stderr, "puschd: cache warm-start: %d entries loaded, %d rejected from %s\n", added, rejected, *cacheFile)
+			}
+		}
+	}
+
 	s := &sched.Scheduler{Cfg: sched.Config{
 		Servers:    *servers,
 		QueueDepth: *queue,
 		Workers:    *workers,
 		Seed:       *seed,
+		Cache:      cache,
 	}}
 	sum, err := s.WriteJSONL(os.Stdout, trace)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if cache != nil && *cacheFile != "" {
+		if err := cache.SaveFile(*cacheFile); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr,
@@ -165,6 +197,15 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"puschd: machine pool: %d gets = %d built + %d reused, peak %d arenas\n",
 			sum.Pool.Gets, sum.Pool.Builds, sum.Pool.Reuses, sum.Pool.Peak)
+	}
+	if sum.Host != nil {
+		fmt.Fprintf(os.Stderr,
+			"puschd: host: %.0f slots/s over %.2f s wall", sum.Host.SlotsPerSec, sum.Host.WallSeconds)
+		if cache != nil {
+			fmt.Fprintf(os.Stderr, "; cache %d hits / %d misses (%.1f%% hit rate, %d entries)",
+				sum.Host.CacheHits, sum.Host.CacheMisses, sum.Host.CacheHitRate*100, cache.Len())
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

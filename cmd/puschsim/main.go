@@ -40,8 +40,11 @@
 // -campaign fans a scenario family out across -workers host goroutines
 // with base seed -seed, emitting one JSON line per scenario (the
 // layouts campaign searches partition splits and reports each one's
-// slot throughput). To serve slot traffic as a stream rather than run
-// one experiment, see cmd/puschd.
+// slot throughput); -cache memoizes chain service times by scenario
+// coordinate (byte-identical replay, see internal/timecache) and
+// -cache-file persists the memo across runs for warm starts. To serve
+// slot traffic as a stream rather than run one experiment, see
+// cmd/puschd.
 package main
 
 import (
@@ -77,6 +80,9 @@ func main() {
 	schemeFlag := flag.String("scheme", "qpsk", "campaign base modulation: qpsk, 16qam or 64qam")
 	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "campaign base seed")
+	cacheFlag := flag.Bool("cache", false, "campaign modes: memoize chain service times by scenario coordinate (exact: cached replay is byte-identical)")
+	cacheCap := flag.Int("cache-cap", 0, "service-time cache capacity in entries (0 = default)")
+	cacheFile := flag.String("cache-file", "", "warm-start the service-time cache from this JSONL file and save it back after the campaign (implies -cache)")
 	flag.Parse()
 
 	var cluster *sim.Config
@@ -99,7 +105,30 @@ func main() {
 	}
 
 	if *campaignFlag != "" {
-		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, layout, *snrMin, *snrMax, *snrStep, *workers, *seed)
+		var cache *pusch.ServiceCache
+		if *cacheFlag || *cacheFile != "" {
+			cache = pusch.NewServiceCache(*cacheCap)
+			if *cacheFile != "" {
+				added, rejected, err := cache.LoadFile(*cacheFile)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if added > 0 || rejected > 0 {
+					fmt.Fprintf(os.Stderr, "puschsim: cache warm-start: %d entries loaded, %d rejected from %s\n", added, rejected, *cacheFile)
+				}
+			}
+		}
+		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, layout, *snrMin, *snrMax, *snrStep, *workers, *seed, cache)
+		if cache != nil {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "puschsim: cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
+				st.Hits, st.Misses, st.HitRate()*100, st.Entries)
+			if *cacheFile != "" {
+				if err := cache.SaveFile(*cacheFile); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
 		return
 	}
 
@@ -185,7 +214,7 @@ func campaignBase(cluster *sim.Config, scheme waveform.Scheme, chSpec pusch.Chan
 	}
 }
 
-func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, layout pusch.Layout, snrMin, snrMax, snrStep float64, workers int, seed uint64) {
+func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, layout pusch.Layout, snrMin, snrMax, snrStep float64, workers int, seed uint64, cache *pusch.ServiceCache) {
 	var scheme waveform.Scheme
 	switch strings.ToLower(schemeName) {
 	case "qpsk":
@@ -245,7 +274,7 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 	if len(scenarios) == 0 {
 		log.Fatalf("campaign %q is empty (check -snr-min/-snr-max/-snr-step)", mode)
 	}
-	runner := &pusch.Runner{Workers: workers, Seed: seed}
+	runner := &pusch.Runner{Workers: workers, Seed: seed, Cache: cache}
 	if err := pusch.WriteCampaignJSONL(os.Stdout, runner, scenarios); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pusch"
+	"repro/internal/timecache"
+	"repro/internal/waveform"
+)
+
+// TestRunnerCacheByteIdentical: a campaign run through the service-time
+// cache — cold-populating and warm — produces byte-identical JSONL to
+// an uncached run, at several worker counts.
+func TestRunnerCacheByteIdentical(t *testing.T) {
+	base := pusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: waveform.QPSK,
+	}
+	scenarios := SNRSweep(base, 10, 14, 2)
+	if len(scenarios) != 3 {
+		t.Fatalf("sweep has %d scenarios, want 3", len(scenarios))
+	}
+
+	emit := func(r *Runner) []byte {
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf, scenarios); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cold := emit(&Runner{Workers: 1, Seed: 7})
+
+	for _, workers := range []int{1, 4} {
+		cache := timecache.New(0)
+		r := &Runner{Workers: workers, Seed: 7, Cache: cache}
+
+		if got := emit(r); !bytes.Equal(cold, got) {
+			t.Fatalf("workers=%d: fresh-cache campaign differs from cold", workers)
+		}
+		st := cache.Stats()
+		if st.Misses != int64(len(scenarios)) || st.Entries != len(scenarios) {
+			t.Fatalf("workers=%d: expected %d misses populating, stats %+v", workers, len(scenarios), st)
+		}
+
+		if got := emit(r); !bytes.Equal(cold, got) {
+			t.Fatalf("workers=%d: warm-cache campaign differs from cold", workers)
+		}
+		if after := cache.Stats(); after.Hits != int64(len(scenarios)) {
+			t.Fatalf("workers=%d: warm pass should be all hits, stats %+v", workers, after)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/timecache"
 )
 
 // Runner executes scenario sets concurrently on the host. Scenarios are
@@ -23,6 +24,13 @@ type Runner struct {
 	// into the per-scenario seed used when a chain scenario does not pin
 	// its own. Zero defaults to 1.
 	Seed uint64
+	// Cache, when non-nil, memoizes chain service times by scenario
+	// coordinate: chain scenarios consult it before drawing a machine
+	// from the pool and populate it on miss. Hits replay the cold
+	// result exactly (the simulator is deterministic), so the cache
+	// changes wall-clock time only, never bytes. Use-case scenarios
+	// and unkeyable configurations bypass it.
+	Cache *timecache.Cache
 }
 
 // DeriveSeed derives a per-item seed from a base seed and the item's
@@ -59,7 +67,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	if workers <= 1 {
 		pool := engine.NewMachines()
 		for i := range scenarios {
-			results[i] = scenarios[i].run(pool, DeriveSeed(base, i))
+			results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache)
 		}
 		return results
 	}
@@ -71,7 +79,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			defer wg.Done()
 			pool := engine.NewMachines()
 			for i := range idx {
-				results[i] = scenarios[i].run(pool, DeriveSeed(base, i))
+				results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache)
 			}
 		}()
 	}

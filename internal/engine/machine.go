@@ -82,6 +82,25 @@ type Machine struct {
 	barrierRow []tcdm.TileBlock
 
 	raceWriters map[arch.Addr]int32
+
+	// Host-side scratch reused across Run/Barrier calls so the hot path
+	// allocates nothing per job, phase or core. A Machine executes one
+	// Run at a time (the pool's mutex orders handoffs between
+	// goroutines), and every scratch buffer is fully rewritten or
+	// cleared before use, so reuse never leaks state between runs —
+	// Reset-safe and race-detector clean by construction.
+	runCores    []int   // sorted copy of the current job's core set
+	tileCount   []int   // active cores per tile for the current job
+	arrivals    []int64 // per-lane barrier arrival times
+	starts      []int64 // per-lane phase start times
+	lsuScratch  []int64 // backing array for the Proc LSU ring
+	procScratch Proc    // the one Proc all phases execute on
+	claim       []int32 // validateJobs: job index + 1 per core, 0 = free
+	perTile     []int   // wakeCost: active cores per tile
+	perGroup    []int   // wakeCost/climbCost: active tiles (or cores) per group
+	groupTiles  []int   // wakeCost: whole tiles per group
+	allCores    []int   // cached identity core list for Barrier(nil)
+	barArrive   []int64 // Barrier arrival times
 }
 
 type tileICache struct {
@@ -104,10 +123,25 @@ func NewMachine(cfg *arch.Config) *Machine {
 		coreStats:  make([]Stats, cfg.NumCores()),
 		icache:     make([]tileICache, cfg.NumTiles()),
 		barrierRow: make([]tcdm.TileBlock, cfg.NumTiles()),
+
+		runCores:   make([]int, 0, cfg.NumCores()),
+		tileCount:  make([]int, cfg.NumTiles()),
+		arrivals:   make([]int64, cfg.NumCores()),
+		starts:     make([]int64, cfg.NumCores()),
+		lsuScratch: make([]int64, cfg.LSUDepth),
+		claim:      make([]int32, cfg.NumCores()),
+		perTile:    make([]int, cfg.NumTiles()),
+		perGroup:   make([]int, cfg.Groups),
+		groupTiles: make([]int, cfg.Groups),
+		allCores:   make([]int, cfg.NumCores()),
+		barArrive:  make([]int64, cfg.NumCores()),
 	}
 	m.reserveBarrierRows()
 	for t := range m.icache {
 		m.icache[t].resident = make(map[string]int)
+	}
+	for i := range m.allCores {
+		m.allCores[i] = i
 	}
 	m.raceWriters = make(map[arch.Addr]int32)
 	return m
@@ -217,8 +251,9 @@ func (m *Machine) icacheCost(tile int, kernel string, lines int) int64 {
 
 // validateJobs checks that jobs use disjoint, in-range core sets.
 func (m *Machine) validateJobs(jobs []Job) error {
-	seen := make(map[int]string)
-	for _, j := range jobs {
+	clear(m.claim)
+	for ji := range jobs {
+		j := &jobs[ji]
 		if len(j.Cores) == 0 {
 			return fmt.Errorf("engine: job %q has no cores", j.Name)
 		}
@@ -226,10 +261,10 @@ func (m *Machine) validateJobs(jobs []Job) error {
 			if c < 0 || c >= m.Cfg.NumCores() {
 				return fmt.Errorf("engine: job %q: core %d out of range [0,%d)", j.Name, c, m.Cfg.NumCores())
 			}
-			if prev, dup := seen[c]; dup {
-				return fmt.Errorf("engine: core %d claimed by both job %q and job %q", c, prev, j.Name)
+			if prev := m.claim[c]; prev != 0 {
+				return fmt.Errorf("engine: core %d claimed by both job %q and job %q", c, jobs[prev-1].Name, j.Name)
 			}
-			seen[c] = j.Name
+			m.claim[c] = int32(ji + 1)
 		}
 	}
 	return nil
@@ -244,27 +279,36 @@ func (m *Machine) wakeCost(cores []int) int64 {
 		return cfg.Wake.Cluster
 	}
 	// Whole-tile coverage?
-	perTile := make(map[int]int)
-	groups := make(map[int]bool)
+	perTile := m.perTile
+	perGroup := m.perGroup
+	clear(perTile)
+	clear(perGroup)
+	groups := 0
 	for _, c := range cores {
 		perTile[cfg.TileOfCore(c)]++
-		groups[cfg.GroupOfCore(c)] = true
+		if g := cfg.GroupOfCore(c); perGroup[g] == 0 {
+			perGroup[g] = 1
+			groups++
+		}
 	}
 	wholeTiles := true
 	for _, n := range perTile {
-		if n != cfg.CoresPerTile {
+		if n != 0 && n != cfg.CoresPerTile {
 			wholeTiles = false
 			break
 		}
 	}
 	if wholeTiles {
-		tilesPerGroup := make(map[int]int)
-		for t := range perTile {
-			tilesPerGroup[t/cfg.TilesPerGroup]++
+		tilesPerGroup := m.groupTiles
+		clear(tilesPerGroup)
+		for t, n := range perTile {
+			if n != 0 {
+				tilesPerGroup[t/cfg.TilesPerGroup]++
+			}
 		}
 		wholeGroups := true
 		for _, n := range tilesPerGroup {
-			if n != cfg.TilesPerGroup {
+			if n != 0 && n != cfg.TilesPerGroup {
 				wholeGroups = false
 				break
 			}
@@ -274,7 +318,7 @@ func (m *Machine) wakeCost(cores []int) int64 {
 			return cfg.Wake.Group
 		}
 		// One masked write per group holding participating tiles.
-		return cfg.Wake.Tile * int64(len(groups))
+		return cfg.Wake.Tile * int64(groups)
 	}
 	// Ragged subset: individual wake-up writes.
 	return cfg.Wake.Core * int64(len(cores))
@@ -286,16 +330,24 @@ func (m *Machine) wakeCost(cores []int) int64 {
 // job's core set.
 func (m *Machine) climbCost(cores []int) int64 {
 	cfg := m.Cfg
-	tiles := make(map[int]bool)
-	groups := make(map[int]bool)
-	for _, c := range cores {
-		tiles[cfg.TileOfCore(c)] = true
-		groups[cfg.GroupOfCore(c)] = true
+	if len(cores) == 0 {
+		return 2 + cfg.Lat.Total(arch.LevelGroup) + cfg.Lat.Total(arch.LevelRemote)
+	}
+	firstTile, firstGroup := cfg.TileOfCore(cores[0]), cfg.GroupOfCore(cores[0])
+	oneTile, oneGroup := true, true
+	for _, c := range cores[1:] {
+		if cfg.TileOfCore(c) != firstTile {
+			oneTile = false
+		}
+		if cfg.GroupOfCore(c) != firstGroup {
+			oneGroup = false
+			break
+		}
 	}
 	switch {
-	case len(tiles) == 1:
+	case oneTile:
 		return 2 // tile counter only
-	case len(groups) == 1:
+	case oneGroup:
 		return 2 + cfg.Lat.Total(arch.LevelGroup) // tile then group counter
 	default:
 		return 2 + cfg.Lat.Total(arch.LevelGroup) + cfg.Lat.Total(arch.LevelRemote)
@@ -311,8 +363,15 @@ func (m *Machine) Run(jobs ...Job) error {
 	}
 	for ji := range jobs {
 		job := &jobs[ji]
-		cores := append([]int(nil), job.Cores...)
+		cores := append(m.runCores[:0], job.Cores...)
 		sort.Ints(cores)
+		m.runCores = cores
+		// Cores of one tile active in a phase contend for the shared I$
+		// on L0 misses; the per-tile census is fixed for the whole job.
+		clear(m.tileCount)
+		for _, core := range cores {
+			m.tileCount[m.Cfg.TileOfCore(core)]++
+		}
 		if job.NotBefore > 0 {
 			for _, core := range cores {
 				if m.coreTime[core] < job.NotBefore {
@@ -336,17 +395,11 @@ func (m *Machine) Run(jobs ...Job) error {
 			if fetchEvery == 0 {
 				fetchEvery = DefaultFetchEvery
 			}
-			// Cores of one tile active in this phase contend for the
-			// shared I$ on L0 misses.
-			tileCount := make(map[int]int)
-			for _, core := range cores {
-				tileCount[m.Cfg.TileOfCore(core)]++
-			}
 			if m.DebugRaces {
 				clear(m.raceWriters)
 			}
-			arrivals := make([]int64, len(cores))
-			starts := make([]int64, len(cores))
+			arrivals := m.arrivals[:len(cores)]
+			starts := m.starts[:len(cores)]
 			var last int64
 			m.phaseCounter++
 			rot := 0
@@ -357,7 +410,7 @@ func (m *Machine) Run(jobs ...Job) error {
 				li := (idx + rot) % len(cores)
 				core := cores[li]
 				ports := int64(m.Cfg.ICache.FetchPorts)
-				active := int64(tileCount[m.Cfg.TileOfCore(core)])
+				active := int64(m.tileCount[m.Cfg.TileOfCore(core)])
 				// Miss cost in eighths of a cycle: a lone core's
 				// sequential prefetch hides L0 misses entirely; with
 				// more cores sharing the tile cache the service cost
@@ -366,14 +419,18 @@ func (m *Machine) Run(jobs ...Job) error {
 				if active == 1 {
 					taxNum = 0
 				}
-				p := &Proc{
+				// One reusable Proc: the struct-literal assignment resets
+				// every field, and the recycled LSU ring starts empty
+				// (lsuLen 0), so stale completion times are never read.
+				p := &m.procScratch
+				*p = Proc{
 					Core:   core,
 					Lane:   li,
 					Lanes:  len(cores),
 					m:      m,
 					now:    m.coreTime[core],
 					st:     &m.coreStats[core],
-					lsu:    make([]int64, m.Cfg.LSUDepth),
+					lsu:    m.lsuScratch,
 					taxNum: taxNum,
 					taxDen: 8 * int64(fetchEvery),
 				}
@@ -442,13 +499,13 @@ func (m *Machine) ClusterBarrier() { m.Barrier(nil) }
 // trigger covering the partition.
 func (m *Machine) Barrier(cores []int) {
 	if cores == nil {
-		cores = make([]int, len(m.coreTime))
-		for i := range cores {
-			cores[i] = i
-		}
+		cores = m.allCores
 	}
 	var last int64
-	arrive := make([]int64, len(cores))
+	if len(cores) > len(m.barArrive) {
+		m.barArrive = make([]int64, len(cores))
+	}
+	arrive := m.barArrive[:len(cores)]
 	for i, c := range cores {
 		// Entry sequence: increment + branch + wfi.
 		m.coreStats[c].Instrs += 3

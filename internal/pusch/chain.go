@@ -109,6 +109,7 @@ func (r *ChainResult) Record(cfg ChainConfig) report.SlotRecord {
 		ThroughputGbps: report.Gbps(bits, r.TotalCycles),
 		BER:            r.BER,
 		EVMdB:          r.EVMdB,
+		SigmaEst:       r.SigmaEst,
 	}
 	if !cfg.Channel.Legacy() {
 		// Channel coordinates: which fading realization this slot saw.

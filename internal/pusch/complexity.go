@@ -136,8 +136,13 @@ func (d Dims) TableI() string {
 }
 
 // Fig3Table renders the per-stage MAC shares for a sweep of UE counts,
-// reproducing Fig. 3.
+// reproducing Fig. 3. Each column's share map is computed once and
+// read by every stage row.
 func Fig3Table(nls []int) string {
+	shares := make([]map[Stage]float64, len(nls))
+	for i, nl := range nls {
+		shares[i] = UseCaseDims(nl).Shares()
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-46s", "Stage \\ UEs")
 	for _, nl := range nls {
@@ -146,9 +151,8 @@ func Fig3Table(nls []int) string {
 	sb.WriteByte('\n')
 	for _, st := range Stages {
 		fmt.Fprintf(&sb, "%-46s", st)
-		for _, nl := range nls {
-			sh := UseCaseDims(nl).Shares()
-			fmt.Fprintf(&sb, " %6.1f%%", sh[st]*100)
+		for i := range nls {
+			fmt.Fprintf(&sb, " %6.1f%%", shares[i][st]*100)
 		}
 		sb.WriteByte('\n')
 	}

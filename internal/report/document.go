@@ -13,9 +13,12 @@ import (
 const SchemaV1 = "repro-bench/v1"
 
 // Document is one benchmark artifact: every record a tool run produced,
-// in deterministic order. It deliberately carries no timestamps or host
-// information — the same tree must produce byte-identical documents, so
-// a baseline diff is exact.
+// in deterministic order. Kernels and Slots carry no timestamps or host
+// information — the same tree must produce byte-identical records, so a
+// baseline diff is exact. Service is the deliberate exception: it
+// carries the host-side performance picture (wall-clock slots/sec,
+// cache hit rate) of the artifact's service run, varies run to run, and
+// is never diffed (Diff walks Kernels and Slots only).
 type Document struct {
 	Schema string `json:"schema"`
 	// Tool names the producer ("kernelbench", "benchgate", "puschsim").
@@ -23,6 +26,11 @@ type Document struct {
 
 	Kernels []KernelRecord `json:"kernels,omitempty"`
 	Slots   []SlotRecord   `json:"slots,omitempty"`
+
+	// Service is the benchgate cache-gate summary: the served mixed
+	// trace's aggregate picture with HostStats attached, so the BENCH
+	// artifact records host throughput and cache hit rate per commit.
+	Service *ServiceSummary `json:"service,omitempty"`
 }
 
 // NewDocument returns an empty v1 document for the named tool.

@@ -80,4 +80,32 @@ type ServiceSummary struct {
 	// — so deterministic JSONL streams omit it (the scheduler's
 	// WriteJSONL strips it; Serve still returns it for display).
 	Pool *engine.PoolStats `json:"pool,omitempty"`
+
+	// Host is the host-side performance picture of the run: wall-clock
+	// slots/sec and the service-time cache traffic. Like Pool it varies
+	// run to run (it measures the host, not the simulated system), so
+	// deterministic JSONL streams omit it; Serve returns it for display
+	// and benchgate embeds it in the BENCH artifact.
+	Host *HostStats `json:"host,omitempty"`
+}
+
+// HostStats is the host-side cost of serving one trace: how fast the
+// host machine chewed through the slots (as opposed to the simulated
+// Gb/s the slots carry) and how much of that speed the service-time
+// cache bought. All fields describe the measurement phase's wall
+// clock, never simulated time, so they are excluded from every
+// byte-deterministic stream.
+type HostStats struct {
+	// WallSeconds is the wall-clock duration of the whole Serve call;
+	// SlotsPerSec is jobs over that duration — the host throughput
+	// headline the ROADMAP's million-slot campaigns are priced in.
+	WallSeconds float64 `json:"wall_seconds"`
+	SlotsPerSec float64 `json:"host_slots_per_sec"`
+
+	// Cache traffic attributed to this run (the cache may be shared
+	// across runs; these count only this run's lookups). All zero when
+	// no cache was configured.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }

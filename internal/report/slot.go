@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -54,9 +55,14 @@ type SlotRecord struct {
 	SerialCycles int64   `json:"serial_cycles,omitempty"`
 	Speedup      float64 `json:"speedup,omitempty"`
 
-	// Link quality, chain runs only.
-	BER   float64 `json:"ber,omitempty"`
-	EVMdB float64 `json:"evm_db,omitempty"`
+	// Link quality, chain runs only. SigmaEst is the chain's estimated
+	// noise variance, recorded so a slot's full campaign-visible outcome
+	// can be reconstructed from the record alone (the service-time cache
+	// relies on this: a cached record must reproduce a cold run's result
+	// byte for byte).
+	BER      float64 `json:"ber,omitempty"`
+	EVMdB    float64 `json:"evm_db,omitempty"`
+	SigmaEst float64 `json:"sigma_est,omitempty"`
 
 	// Channel coordinates: the fading realization a chain slot was run
 	// over. Channel is the profile name ("iid", "tdl-a", ...); DopplerHz
@@ -80,16 +86,27 @@ type SlotRecord struct {
 }
 
 // Key returns the stable identity used to match slot records across
-// runs. Documents holding slot variants this composite cannot
-// distinguish (e.g. an SNR sweep at fixed dimensions) are flagged by
-// Diff as duplicates rather than silently collapsed.
+// runs: kind, cluster (name and core count), UE count, Cholesky
+// schedule, scheme, channel coordinates (profile plus, when stamped,
+// the UE fading seed and channel time, so two slots of one link-curve
+// or mobile trace never collide) and layout. Documents holding slot
+// variants this composite cannot distinguish (e.g. an SNR sweep at
+// fixed dimensions) are flagged by Diff as duplicates rather than
+// silently collapsed. The service-time cache builds its coordinate key
+// on top of this composite (pusch.ChainConfig.CacheKey).
 func (r *SlotRecord) Key() string {
-	key := fmt.Sprintf("%s/%s/%due/chol%d", r.Kind, strings.ToLower(r.Cluster), r.UEs, r.CholPerRound)
+	key := fmt.Sprintf("%s/%s/%dc/%due/chol%d", r.Kind, strings.ToLower(r.Cluster), r.Cores, r.UEs, r.CholPerRound)
 	if r.Scheme != "" {
 		key += "/" + r.Scheme
 	}
 	if r.Channel != "" {
 		key += "/" + r.Channel
+		if r.ChannelSeed != 0 {
+			key += fmt.Sprintf("/cs%x", r.ChannelSeed)
+		}
+		if r.ChannelTimeMs != 0 {
+			key += "/t" + strconv.FormatFloat(r.ChannelTimeMs, 'g', -1, 64)
+		}
 	}
 	if r.Layout != "" {
 		key += "/" + r.Layout

@@ -4,6 +4,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/pusch"
 	"repro/internal/report"
+	"repro/internal/timecache"
 )
 
 // DefaultQueueDepth is the bounded wait-queue capacity used when a
@@ -45,6 +46,13 @@ type Config struct {
 	// Seed is the fallback payload seed, mixed with each job's index for
 	// jobs whose ChainConfig does not pin its own (0 means 1).
 	Seed uint64
+	// Cache, when non-nil, memoizes measured service times by scenario
+	// coordinate (pusch.ChainConfig.CacheKey): phase-1 measurement
+	// consults it before touching the machine pool and populates it on
+	// miss. Because the simulator is deterministic a hit is exact, so
+	// the cache changes wall-clock time only, never results. Jobs whose
+	// configuration has no replayable coordinate bypass it.
+	Cache *timecache.Cache
 }
 
 // Outcome classifies what the service did with one job.

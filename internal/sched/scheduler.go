@@ -6,11 +6,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/engine"
 	"repro/internal/pusch"
 	"repro/internal/report"
+	"repro/internal/timecache"
 )
 
 // Scheduler admits a trace of slot jobs and serves it through the
@@ -53,9 +55,28 @@ type measured struct {
 // order plus the aggregate service summary. Individual job failures are
 // reported per job; Serve itself never fails.
 func (s *Scheduler) Serve(jobs []Job) ([]JobResult, report.ServiceSummary) {
+	start := time.Now()
+	var before timecache.Stats
+	if s.Cfg.Cache != nil {
+		before = s.Cfg.Cache.Stats()
+	}
 	order := arrivalOrder(jobs)
 	meas, pool := s.measureAll(jobs, order)
-	return s.replay(jobs, order, meas, pool)
+	results, sum := s.replay(jobs, order, meas, pool)
+	host := report.HostStats{WallSeconds: time.Since(start).Seconds()}
+	if host.WallSeconds > 0 {
+		host.SlotsPerSec = float64(len(jobs)) / host.WallSeconds
+	}
+	if s.Cfg.Cache != nil {
+		after := s.Cfg.Cache.Stats()
+		host.CacheHits = after.Hits - before.Hits
+		host.CacheMisses = after.Misses - before.Misses
+		if total := host.CacheHits + host.CacheMisses; total > 0 {
+			host.CacheHitRate = float64(host.CacheHits) / float64(total)
+		}
+	}
+	sum.Host = &host
+	return results, sum
 }
 
 // WriteJSONL serves the trace and streams one JobRecord JSON line per
@@ -73,11 +94,12 @@ func (s *Scheduler) WriteJSONL(w io.Writer, jobs []Job) (report.ServiceSummary, 
 			return sum, err
 		}
 	}
-	// The pool stats vary with the host worker count; the stream's
-	// byte-determinism contract excludes them (callers read them off the
-	// returned summary instead).
+	// The pool and host stats vary with the host worker count and wall
+	// clock; the stream's byte-determinism contract excludes them
+	// (callers read them off the returned summary instead).
 	wire := sum
 	wire.Pool = nil
+	wire.Host = nil
 	if err := enc.Encode(&wire); err != nil {
 		return sum, err
 	}
@@ -120,13 +142,32 @@ func (s *Scheduler) measureAll(jobs []Job, order []int) ([]measured, *engine.Sha
 	}
 	sharded := engine.NewSharded(workers)
 	meas := make([]measured, len(jobs))
+	cache := s.Cfg.Cache
 	run := func(pool *engine.Machines, pos int) {
 		cfg := jobs[order[pos]].Chain
 		if cfg.Seed == 0 {
 			cfg.Seed = jobSeed(base, pos)
 		}
+		// Consult the service-time cache before the machine pool. A key
+		// derivation error (invalid config, non-canonical layout) bypasses
+		// the cache entirely: invalid configs still surface as Failed from
+		// the measurement itself, and unkeyable-but-valid ones are simply
+		// measured every time.
+		key := ""
+		if cache != nil {
+			if k, err := cfg.CacheKey(); err == nil {
+				key = k
+				if rec, ok := cache.Lookup(key); ok {
+					meas[pos] = measured{rec: rec}
+					return
+				}
+			}
+		}
 		rec, err := measure(pool, cfg)
 		meas[pos] = measured{rec: rec, err: err}
+		if key != "" && err == nil {
+			cache.Add(key, rec)
+		}
 	}
 	if workers == 1 {
 		pool := sharded.Shard(0)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/campaign"
+	"repro/internal/timecache"
 	"repro/waveform"
 )
 
@@ -22,7 +23,18 @@ type (
 	// Runner fans scenarios out across host goroutines with one pooled
 	// machine per worker.
 	Runner = campaign.Runner
+	// ServiceCache memoizes chain service times by scenario coordinate
+	// (ChainConfig.CacheKey); hand one to Runner.Cache to make repeated
+	// coordinates near-free without changing a single output byte. See
+	// internal/timecache for the LRU and persistence contract.
+	ServiceCache = timecache.Cache
 )
+
+// NewServiceCache returns an empty service-time cache holding at most
+// capacity entries (<= 0 uses the package default).
+func NewServiceCache(capacity int) *ServiceCache {
+	return timecache.New(capacity)
+}
 
 // SNRSweep generates one chain scenario per SNR point in [minDB, maxDB].
 func SNRSweep(base ChainConfig, minDB, maxDB, stepDB float64) []Scenario {

@@ -23,21 +23,37 @@
 // hit rate) is embedded in the -out document as the artifact's
 // "service" section.
 //
+// The calibration gate loads the committed analytic-timing artifact
+// (testdata/calibration.json), re-measures its held-out scenario grid
+// cycle-accurately on every calibrated cluster, and requires each
+// cluster's P95 relative total-cycle error to stay within the budget
+// committed inside the artifact: the analytic fast path
+// (internal/timing) can drift from the engine only as far as the
+// budget allows, and a kernel or engine timing change that moves the
+// goldens past it fails CI until the calibration is deliberately
+// refitted with -update-calibration. The per-cluster error summary is
+// embedded in the -out document as the artifact's "calibration"
+// section.
+//
 // Usage:
 //
 //	benchgate [-baseline testdata/baseline_kernels.json]
+//	          [-calibration testdata/calibration.json]
 //	          [-fresh BENCH.json] [-out BENCH_2026-07-26.json]
+//	benchgate -update-calibration
 //
 // With no -fresh, benchgate runs the quick subset itself (the layout
 // gate always runs live). -out additionally writes the fresh document
 // (the CI workflow uploads it as the per-commit benchmark artifact).
+// -update-calibration refits the analytic timing model on the golden
+// fit grid and rewrites the committed artifact instead of gating.
 //
 // Exit status: 0 when the tree reproduces the baseline exactly and the
-// layout and cache gates hold, 1 on kernel drift (the report
-// distinguishes regressions from improvements — both gate, because
-// baselines must be regenerated deliberately with `go run
-// ./cmd/kernelbench -update-baseline`) or a layout- or cache-gate
-// failure, 2 on operational errors.
+// layout, cache and calibration gates hold, 1 on kernel drift (the
+// report distinguishes regressions from improvements — both gate,
+// because baselines must be regenerated deliberately with `go run
+// ./cmd/kernelbench -update-baseline`) or a layout-, cache- or
+// calibration-gate failure, 2 on operational errors.
 package main
 
 import (
@@ -55,8 +71,74 @@ import (
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/timecache"
+	"repro/internal/timing"
 	"repro/internal/waveform"
 )
+
+// calibrationClusters are the geometries the analytic timing model is
+// calibrated for: the two stock clusters of the paper.
+func calibrationClusters() []*arch.Config {
+	return []*arch.Config{arch.MemPool(), arch.TeraPool()}
+}
+
+// updateCalibration refits the analytic timing model on the full fit
+// grid — minutes of cycle-accurate golden runs — and rewrites the
+// committed artifact. The fit is deterministic, so an unchanged tree
+// reproduces the artifact byte for byte.
+func updateCalibration(path string) error {
+	cal, err := timing.Calibrate(calibrationClusters(), timing.DefaultBudgetP95)
+	if err != nil {
+		return err
+	}
+	if err := cal.WriteFile(path); err != nil {
+		return err
+	}
+	model, err := timing.NewModel(cal)
+	if err != nil {
+		return err
+	}
+	for _, cl := range calibrationClusters() {
+		stats, err := model.Evaluate(cl, timing.HoldoutGrid())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: calibrated %s: holdout |rel err| p50 %.2f%% / p95 %.2f%% / max %.2f%% over %d points (budget p95 <= %.0f%%)\n",
+			cl.Name, 100*stats.P50, 100*stats.P95, 100*stats.Max, len(stats.Points), 100*cal.BudgetP95)
+	}
+	fmt.Printf("benchgate: wrote %s\n", path)
+	return nil
+}
+
+// runCalibrationGate loads the committed calibration and re-measures
+// the held-out grid cycle-accurately on every calibrated cluster; the
+// gate holds when each cluster's P95 relative total-cycle error stays
+// within the artifact's committed budget. The summary rides along in
+// the BENCH artifact.
+func runCalibrationGate(path string) (*report.CalibrationSummary, bool, error) {
+	model, err := timing.Load(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w (regenerate with `go run ./cmd/benchgate -update-calibration`)", err)
+	}
+	sum := &report.CalibrationSummary{Schema: timing.Schema, BudgetP95: model.Budget()}
+	ok := true
+	for _, cl := range calibrationClusters() {
+		stats, err := model.Evaluate(cl, timing.HoldoutGrid())
+		if err != nil {
+			return nil, false, err
+		}
+		sum.Clusters = append(sum.Clusters, report.CalibrationClusterError{
+			Cluster: cl.Name,
+			Points:  len(stats.Points),
+			P50:     stats.P50,
+			P95:     stats.P95,
+			Max:     stats.Max,
+		})
+		if stats.P95 > model.Budget() {
+			ok = false
+		}
+	}
+	return sum, ok, nil
+}
 
 // gateChain is the layout-gate slot: a small PRB allocation (64
 // subcarriers) on stock MemPool, where per-kernel parallelism saturates
@@ -169,7 +251,19 @@ func main() {
 	freshPath := flag.String("fresh", "",
 		"compare this previously emitted document instead of running the quick subset")
 	outPath := flag.String("out", "", "also write the fresh document to this file")
+	calibrationPath := flag.String("calibration", timing.DefaultPath,
+		"committed analytic-timing calibration artifact to gate against")
+	updateCal := flag.Bool("update-calibration", false,
+		"refit the analytic timing model on the golden fit grid and rewrite -calibration, then exit")
 	flag.Parse()
+
+	if *updateCal {
+		if err := updateCalibration(*calibrationPath); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	base, err := report.Load(*baselinePath)
 	if err != nil {
@@ -211,6 +305,16 @@ func main() {
 	cv := runCacheGate()
 	fresh.Service = &cv.warmSum
 
+	// Calibration gate: the analytic timing model must hold its
+	// committed held-out error budget against freshly measured goldens.
+	// The per-cluster error summary rides along in the artifact.
+	calSum, calOK, err := runCalibrationGate(*calibrationPath)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	fresh.Calibration = calSum
+
 	if *outPath != "" {
 		if err := fresh.WriteFile(*outPath); err != nil {
 			log.Print(err)
@@ -240,8 +344,13 @@ func main() {
 			h.CacheHits, h.CacheMisses, h.SlotsPerSec, cv.speedup)
 	}
 
-	if len(drifts) == 0 && layoutOK && cacheOK {
-		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle, pipelined >= sequential, cached replay exact\n",
+	for _, ce := range calSum.Clusters {
+		fmt.Printf("benchgate: calibration gate on %s: holdout |rel err| p50 %.2f%% / p95 %.2f%% / max %.2f%% over %d points (budget p95 <= %.0f%%)\n",
+			ce.Cluster, 100*ce.P50, 100*ce.P95, 100*ce.Max, ce.Points, 100*calSum.BudgetP95)
+	}
+
+	if len(drifts) == 0 && layoutOK && cacheOK && calOK {
+		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle, pipelined >= sequential, cached replay exact, analytic timing within budget\n",
 			len(fresh.Kernels), *baselinePath)
 		return
 	}
@@ -268,6 +377,11 @@ func main() {
 		} else {
 			fmt.Println("benchgate: FAIL — warm cache pass missed (every gate-trace coordinate should be memoized)")
 		}
+	}
+	if !calOK {
+		fmt.Printf("benchgate: FAIL — analytic timing exceeds its held-out error budget (p95 > %.0f%%) against %s\n",
+			100*calSum.BudgetP95, *calibrationPath)
+		fmt.Println("benchgate: if the timing change is intentional, refit with: go run ./cmd/benchgate -update-calibration")
 	}
 	os.Exit(1)
 }

@@ -29,6 +29,7 @@
 //	       [-channel iid|tdl-a|tdl-b|tdl-c] [-doppler Hz] [-rician-k K]
 //	       [-layout sequential|pipe|pipe/f64/b32/d64]
 //	       [-cache] [-cache-cap N] [-cache-file file]
+//	       [-timing analytic] [-calibration file]
 //	       [-servers N] [-queue N] [-workers N] [-seed N]
 //
 // -cache memoizes measured slot service times by scenario coordinate
@@ -37,6 +38,16 @@
 // byte-identical output (the cache is exact by construction).
 // -cache-file warm-starts the cache from a JSONL file and saves it
 // back after serving, so a second run of the same trace is all hits.
+//
+// -timing analytic makes the calibrated closed-form cycle model
+// (internal/timing, loaded from -calibration, default
+// testdata/calibration.json) the default timing path: served slots'
+// cycle figures are model predictions within the committed error
+// budget instead of engine measurements, records and the summary are
+// stamped "analytic", and the cache is bypassed. Individual job specs
+// can pin their own path with a "timing" field — "cycle-accurate"
+// forces the engine even under an analytic default. docs/TIMING.md
+// specifies the model and when to pick each path.
 //
 // -channel/-doppler/-rician-k put the served cell on a fading channel
 // (internal/channel): generated jobs are assigned to a population of
@@ -70,6 +81,7 @@ import (
 	"repro/internal/pusch"
 	"repro/internal/sched"
 	"repro/internal/timecache"
+	"repro/internal/timing"
 )
 
 func main() {
@@ -94,6 +106,8 @@ func main() {
 	cacheFlag := flag.Bool("cache", false, "memoize slot service times by scenario coordinate (exact: cached replay is byte-identical)")
 	cacheCap := flag.Int("cache-cap", 0, "service-time cache capacity in entries (0 = default)")
 	cacheFile := flag.String("cache-file", "", "warm-start the service-time cache from this JSONL file and save it back after serving (implies -cache)")
+	timingFlag := flag.String("timing", "", "default timing path for served slots: cycle-accurate (default) or analytic (calibrated closed-form model)")
+	calibration := flag.String("calibration", timing.DefaultPath, "calibration artifact for -timing analytic")
 	servers := flag.Int("servers", 1, "virtual slot processors serving the queue in simulated time")
 	queue := flag.Int("queue", sched.DefaultQueueDepth, "bounded wait-queue depth in slots (0 = default, negative = no queue)")
 	workers := flag.Int("workers", 0, "host measurement goroutines (0 = GOMAXPROCS); never affects results")
@@ -123,6 +137,18 @@ func main() {
 		log.Fatal(err)
 	}
 	base.Layout = layout
+	mode, err := pusch.ParseTimingMode(*timingFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Timing = mode
+	var model *timing.Model
+	if mode == pusch.TimingAnalytic {
+		model, err = timing.Load(*calibration)
+		if err != nil {
+			log.Fatalf("loading calibration: %v (regenerate with `go run ./cmd/benchgate -update-calibration`)", err)
+		}
+	}
 	// An explicit fading profile (or any mobility/LOS parameter) makes
 	// the generators serve mobile UEs: every generated job gets a per-UE
 	// fading identity and an arrival-time channel coordinate, so one
@@ -176,6 +202,7 @@ func main() {
 		Workers:    *workers,
 		Seed:       *seed,
 		Cache:      cache,
+		Model:      model,
 	}}
 	sum, err := s.WriteJSONL(os.Stdout, trace)
 	if err != nil {

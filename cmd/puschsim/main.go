@@ -20,8 +20,9 @@
 //
 //	puschsim [-cluster terapool|mempool] [-chol-batch 4|16] [-serial] [-full-mimo] [-json]
 //	puschsim -chain [-snr dB] [-channel tdl-b] [-doppler 30] [-layout pipe]
+//	puschsim -chain -timing analytic            # predicted cycle budget, no engine run
 //	puschsim -campaign snr      [-snr-min 8] [-snr-max 26] [-snr-step 2] [-scheme qpsk]
-//	                            [-workers N] [-seed N]
+//	                            [-workers N] [-seed N] [-timing analytic]
 //	puschsim -campaign schemes  # modulation x UE-count grid
 //	puschsim -campaign clusters # cluster-size scaling sweep
 //	puschsim -campaign chol     # use-case Cholesky schedule sweep
@@ -42,8 +43,14 @@
 // layouts campaign searches partition splits and reports each one's
 // slot throughput); -cache memoizes chain service times by scenario
 // coordinate (byte-identical replay, see internal/timecache) and
-// -cache-file persists the memo across runs for warm starts. To serve
-// slot traffic as a stream rather than run one experiment, see
+// -cache-file persists the memo across runs for warm starts; -timing
+// analytic replaces every chain run's engine execution with the
+// calibrated closed-form cycle model (internal/timing, loaded from
+// -calibration, default testdata/calibration.json) — cycles are
+// predictions within the committed error budget, records are stamped
+// "analytic", and BER/EVM stay zero since no payload is processed
+// (docs/TIMING.md specifies the model and when to pick each path). To
+// serve slot traffic as a stream rather than run one experiment, see
 // cmd/puschd.
 package main
 
@@ -83,6 +90,8 @@ func main() {
 	cacheFlag := flag.Bool("cache", false, "campaign modes: memoize chain service times by scenario coordinate (exact: cached replay is byte-identical)")
 	cacheCap := flag.Int("cache-cap", 0, "service-time cache capacity in entries (0 = default)")
 	cacheFile := flag.String("cache-file", "", "warm-start the service-time cache from this JSONL file and save it back after the campaign (implies -cache)")
+	timingFlag := flag.String("timing", "", "timing path for chain and campaign modes: cycle-accurate (default) or analytic (calibrated closed-form model, no engine run)")
+	calibration := flag.String("calibration", pusch.DefaultCalibrationPath, "calibration artifact for -timing analytic")
 	flag.Parse()
 
 	var cluster *sim.Config
@@ -103,6 +112,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	timing, err := pusch.ParseTimingMode(*timingFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var model *pusch.TimingModel
+	if timing == pusch.TimingAnalytic {
+		model, err = pusch.LoadTimingModel(*calibration)
+		if err != nil {
+			log.Fatalf("loading calibration: %v (regenerate with `go run ./cmd/benchgate -update-calibration`)", err)
+		}
+	}
 
 	if *campaignFlag != "" {
 		var cache *pusch.ServiceCache
@@ -118,7 +138,7 @@ func main() {
 				}
 			}
 		}
-		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, layout, *snrMin, *snrMax, *snrStep, *workers, *seed, cache)
+		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, layout, timing, model, *snrMin, *snrMax, *snrStep, *workers, *seed, cache)
 		if cache != nil {
 			st := cache.Stats()
 			fmt.Fprintf(os.Stderr, "puschsim: cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
@@ -133,8 +153,12 @@ func main() {
 	}
 
 	if *chain {
-		runChain(cluster, *snr, chSpec, layout)
+		runChain(cluster, *snr, chSpec, layout, timing, model)
 		return
+	}
+
+	if timing == pusch.TimingAnalytic {
+		log.Fatal("-timing analytic covers the functional chain and chain campaigns only; the Fig. 9c use case always runs cycle-accurately")
 	}
 
 	cfg := pusch.DefaultUseCase()
@@ -214,7 +238,7 @@ func campaignBase(cluster *sim.Config, scheme waveform.Scheme, chSpec pusch.Chan
 	}
 }
 
-func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, layout pusch.Layout, snrMin, snrMax, snrStep float64, workers int, seed uint64, cache *pusch.ServiceCache) {
+func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, layout pusch.Layout, timing pusch.TimingMode, model *pusch.TimingModel, snrMin, snrMax, snrStep float64, workers int, seed uint64, cache *pusch.ServiceCache) {
 	var scheme waveform.Scheme
 	switch strings.ToLower(schemeName) {
 	case "qpsk":
@@ -227,6 +251,10 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 		log.Fatalf("unknown scheme %q", schemeName)
 	}
 	base := campaignBase(cluster, scheme, chSpec, layout)
+	base.Timing = timing
+	if timing == pusch.TimingAnalytic && mode == "chol" {
+		log.Fatal("-timing analytic covers chain campaigns only; the chol campaign runs use-case slots, which are always cycle-accurate")
+	}
 
 	var scenarios []pusch.Scenario
 	switch mode {
@@ -274,14 +302,14 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 	if len(scenarios) == 0 {
 		log.Fatalf("campaign %q is empty (check -snr-min/-snr-max/-snr-step)", mode)
 	}
-	runner := &pusch.Runner{Workers: workers, Seed: seed, Cache: cache}
+	runner := &pusch.Runner{Workers: workers, Seed: seed, Cache: cache, Model: model}
 	if err := pusch.WriteCampaignJSONL(os.Stdout, runner, scenarios); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout pusch.Layout) {
-	res, err := pusch.RunChain(pusch.ChainConfig{
+func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout pusch.Layout, timing pusch.TimingMode, model *pusch.TimingModel) {
+	cfg := pusch.ChainConfig{
 		Cluster: cluster,
 		NSC:     256, NR: 16, NB: 8, NL: 4,
 		NSymb: 6, NPilot: 2,
@@ -290,7 +318,22 @@ func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout
 		Seed:    1,
 		Channel: chSpec,
 		Layout:  layout,
-	})
+	}
+	if timing == pusch.TimingAnalytic {
+		// The analytic path predicts timing only: no payload runs, so
+		// there is no BER/EVM to report — just the predicted cycle budget.
+		rec, err := model.Predict(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("analytic slot timing on %s, %s layout: %d cycles (%.3f ms at 1 GHz), %.3f Gb/s\n",
+			cluster.Name, layout, rec.TotalCycles, rec.TimeMs, rec.ThroughputGbps)
+		for _, ph := range rec.Phases {
+			fmt.Printf("  %-46s %8d cycles (predicted)\n", ph.Name, ph.Cycles)
+		}
+		return
+	}
+	res, err := pusch.RunChain(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,9 +39,20 @@
 //     byte-reproducibly;
 //   - cmd/benchgate: the deterministic performance gate — it diffs a
 //     fresh run against the committed testdata/baseline_*.json cycle
-//     for cycle and enforces the layout gate (the best pipelined
-//     layout's slot throughput must stay at or above the sequential
-//     layout's on the small-allocation gate slot).
+//     for cycle, enforces the layout gate (the best pipelined layout's
+//     slot throughput must stay at or above the sequential layout's on
+//     the small-allocation gate slot), and enforces the calibration
+//     gate (the analytic timing model's held-out error must stay under
+//     the committed budget).
+//
+// Slot timing is data-independent — a pure function of the scenario
+// coordinate — which the repo exploits through three timing paths: the
+// cycle-accurate engine (the default: every cycle measured), the
+// service-time cache (internal/timecache: exact memoization, cached
+// replay is byte-identical to a cold run), and the calibrated analytic
+// model (internal/timing: closed-form per-stage prediction for novel
+// coordinates, stamped "analytic" and held to a committed error
+// budget). docs/TIMING.md specifies the analytic model.
 //
 // The layer-by-layer map of the codebase — tcdm memory model up through
 // engine, kernels, chain, campaign/scheduler, telemetry and the

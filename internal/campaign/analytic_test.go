@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pusch"
+	"repro/internal/timecache"
+	"repro/internal/timing"
+	"repro/internal/waveform"
+)
+
+func analyticModel(t *testing.T) *timing.Model {
+	t.Helper()
+	m, err := timing.Load("../../testdata/calibration.json")
+	if err != nil {
+		t.Fatalf("loading committed calibration: %v", err)
+	}
+	return m
+}
+
+func analyticBase() pusch.ChainConfig {
+	return pusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: waveform.QPSK,
+		Timing: pusch.TimingAnalytic,
+	}
+}
+
+// TestAnalyticCampaignDeterministic: an analytic campaign is
+// byte-identical across worker counts, every result is stamped, and the
+// service-time cache is never touched — predictions are not
+// measurements and must not enter it.
+func TestAnalyticCampaignDeterministic(t *testing.T) {
+	model := analyticModel(t)
+	scenarios := SNRSweep(analyticBase(), 10, 18, 2)
+	if len(scenarios) != 5 {
+		t.Fatalf("sweep has %d scenarios, want 5", len(scenarios))
+	}
+
+	emit := func(workers int, cache *timecache.Cache) []byte {
+		var buf bytes.Buffer
+		r := &Runner{Workers: workers, Seed: 7, Cache: cache, Model: model}
+		if err := r.WriteJSONL(&buf, scenarios); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cache := timecache.New(0)
+	ref := emit(1, cache)
+	for _, workers := range []int{2, 4} {
+		if got := emit(workers, cache); !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d: analytic campaign differs from single-worker run", workers)
+		}
+	}
+	if st := cache.Stats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("analytic campaign touched the service-time cache: %+v", st)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(ref))
+	for dec.More() {
+		var res Result
+		if err := dec.Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Error != "" {
+			t.Fatalf("scenario %q failed: %s", res.Scenario, res.Error)
+		}
+		if res.Timing != string(pusch.TimingAnalytic) {
+			t.Errorf("scenario %q timing = %q, want analytic", res.Scenario, res.Timing)
+		}
+		if res.TotalCycles <= 0 {
+			t.Errorf("scenario %q has no cycle prediction", res.Scenario)
+		}
+		if res.BER != 0 || res.EVMdB != 0 {
+			t.Errorf("scenario %q: analytic result carries link quality: %+v", res.Scenario, res)
+		}
+	}
+}
+
+// TestAnalyticCampaignNeedsModel: analytic scenarios on a runner with
+// no loaded model fail per scenario with a diagnostic instead of
+// silently falling back to the engine.
+func TestAnalyticCampaignNeedsModel(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Runner{Workers: 1}
+	if err := r.WriteJSONL(&buf, SNRSweep(analyticBase(), 10, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Error == "" {
+		t.Fatal("analytic scenario without a model should fail, got a result")
+	}
+	if res.TotalCycles != 0 {
+		t.Fatalf("failed scenario carries cycles: %+v", res)
+	}
+}
+
+// TestAnalyticMatchesEngineShape: at one coordinate, the analytic
+// result mirrors the engine result's identity fields and lands within
+// the committed error budget of its measured cycles.
+func TestAnalyticMatchesEngineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the cycle-accurate engine")
+	}
+	model := analyticModel(t)
+
+	run := func(cfg pusch.ChainConfig) Result {
+		var buf bytes.Buffer
+		r := &Runner{Workers: 1, Model: model}
+		sc := []Scenario{{Name: "pt", Chain: &cfg}}
+		if err := r.WriteJSONL(&buf, sc); err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Error != "" {
+			t.Fatalf("scenario failed: %s", res.Error)
+		}
+		return res
+	}
+
+	engineCfg := analyticBase()
+	engineCfg.Timing = pusch.TimingCycleAccurate
+	engineCfg.SNRdB = 20
+	engineCfg.Seed = 1
+	measured := run(engineCfg)
+
+	analyticCfg := analyticBase()
+	analyticCfg.SNRdB = 20
+	analyticCfg.Seed = 1
+	predicted := run(analyticCfg)
+
+	if measured.Timing != "" || predicted.Timing != string(pusch.TimingAnalytic) {
+		t.Fatalf("timing stamps wrong: engine %q, analytic %q", measured.Timing, predicted.Timing)
+	}
+	if predicted.Cluster != measured.Cluster || predicted.Cores != measured.Cores ||
+		predicted.UEs != measured.UEs || predicted.Scheme != measured.Scheme {
+		t.Errorf("identity fields diverge: engine %+v, analytic %+v", measured, predicted)
+	}
+	rel := float64(predicted.TotalCycles-measured.TotalCycles) / float64(measured.TotalCycles)
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > model.Budget() {
+		t.Errorf("analytic cycles %d vs measured %d: relative error %.4f exceeds budget %.4f",
+			predicted.TotalCycles, measured.TotalCycles, rel, model.Budget())
+	}
+}

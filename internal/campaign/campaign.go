@@ -22,6 +22,7 @@ import (
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/timecache"
+	"repro/internal/timing"
 )
 
 // Scenario is one named point of a campaign: exactly one of Chain or
@@ -58,6 +59,12 @@ type Result struct {
 	// ("pipe/f64/b32/d64" splits); omitted for sequential runs, keeping
 	// the pre-layout wire bytes.
 	Layout string `json:"layout,omitempty"`
+	// Timing is "analytic" when the cycle figures are predictions of
+	// the calibrated cycle model (internal/timing) rather than engine
+	// measurements; omitted for cycle-accurate runs, keeping the
+	// pre-analytic wire bytes. Analytic results carry timing only —
+	// BER, EVM and sigma stay zero, since no payload was processed.
+	Timing string `json:"timing,omitempty"`
 
 	BER      float64 `json:"ber"`
 	EVMdB    float64 `json:"evm_db"`
@@ -91,20 +98,22 @@ func (s *Scenario) validate() error {
 
 // run executes one scenario on machines drawn from pool, with seed as
 // the fallback when a chain scenario does not pin its own. A non-nil
-// cache memoizes chain service times by scenario coordinate.
-func (s *Scenario) run(pool *engine.Machines, seed uint64, cache *timecache.Cache) Result {
+// cache memoizes chain service times by scenario coordinate; a
+// non-nil model resolves analytic-timing chain scenarios without
+// touching the pool at all.
+func (s *Scenario) run(pool *engine.Machines, seed uint64, cache *timecache.Cache, model *timing.Model) Result {
 	res := Result{Scenario: s.Name}
 	if err := s.validate(); err != nil {
 		res.Error = err.Error()
 		return res
 	}
 	if s.Chain != nil {
-		return s.runChain(pool, seed, cache)
+		return s.runChain(pool, seed, cache, model)
 	}
 	return s.runUseCase(pool)
 }
 
-func (s *Scenario) runChain(pool *engine.Machines, seed uint64, cache *timecache.Cache) Result {
+func (s *Scenario) runChain(pool *engine.Machines, seed uint64, cache *timecache.Cache, model *timing.Model) Result {
 	cfg := *s.Chain
 	if cfg.Cluster == nil {
 		cfg.Cluster = arch.MemPool()
@@ -136,6 +145,23 @@ func (s *Scenario) runChain(pool *engine.Machines, seed uint64, cache *timecache
 	}
 	res.Cluster = cfg.Cluster.Name
 	res.Cores = cfg.Cluster.NumCores()
+	// Analytic timing resolves before — and entirely instead of — the
+	// cache and the machine pool: the prediction is a pure function of
+	// the scenario coordinate, and analytic records must never enter
+	// the cache (CacheKey refuses them anyway).
+	if cfg.Timing == pusch.TimingAnalytic {
+		if model == nil {
+			res.Error = "campaign: analytic timing requested but no calibration model is loaded (Runner.Model)"
+			return res
+		}
+		rec, err := model.Predict(cfg)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		fillFromRecord(&res, rec)
+		return res
+	}
 	// Consult the service-time cache before drawing a machine. A key
 	// derivation error (non-canonical layout, invalid config) bypasses
 	// the cache; invalid configs still surface as Result.Error from the
@@ -183,6 +209,7 @@ func (s *Scenario) runChain(pool *engine.Machines, seed uint64, cache *timecache
 // in float64), so a cache hit reproduces the cold Result byte for
 // byte when marshaled.
 func fillFromRecord(res *Result, rec report.SlotRecord) {
+	res.Timing = rec.Timing
 	res.BER = rec.BER
 	res.EVMdB = rec.EVMdB
 	res.SigmaEst = rec.SigmaEst

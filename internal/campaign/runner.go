@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/timecache"
+	"repro/internal/timing"
 )
 
 // Runner executes scenario sets concurrently on the host. Scenarios are
@@ -31,6 +32,13 @@ type Runner struct {
 	// changes wall-clock time only, never bytes. Use-case scenarios
 	// and unkeyable configurations bypass it.
 	Cache *timecache.Cache
+	// Model resolves chain scenarios whose ChainConfig.Timing is
+	// analytic: their cycle figures come from the calibrated
+	// closed-form model (internal/timing) instead of the engine, and
+	// the cache is bypassed in both directions. Analytic scenarios
+	// without a loaded model fail per scenario. Cycle-accurate
+	// scenarios never consult it.
+	Model *timing.Model
 }
 
 // DeriveSeed derives a per-item seed from a base seed and the item's
@@ -67,7 +75,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	if workers <= 1 {
 		pool := engine.NewMachines()
 		for i := range scenarios {
-			results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache)
+			results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache, r.Model)
 		}
 		return results
 	}
@@ -79,7 +87,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			defer wg.Done()
 			pool := engine.NewMachines()
 			for i := range idx {
-				results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache)
+				results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache, r.Model)
 			}
 		}()
 	}

@@ -46,6 +46,12 @@ func (c ChainConfig) CacheKey() (string, error) {
 	if err := c.validate(); err != nil {
 		return "", err
 	}
+	if c.Timing == TimingAnalytic {
+		// Analytic records are model predictions, not measurements; giving
+		// them no coordinate keeps them out of the service-time cache by
+		// construction (timecache additionally rejects stamped records).
+		return "", fmt.Errorf("pusch: cache key: analytic-timing slots are never cached")
+	}
 	layout := ""
 	if c.Layout.Pipelined() {
 		w, err := c.Layout.Wire()
@@ -86,15 +92,17 @@ func (c ChainConfig) CacheKey() (string, error) {
 		// beyond what the record key carries.
 		sb.WriteString("|fd" + f(ch.DopplerHz) + "/k" + f(ch.RicianK) + "/ds" + f(ch.DelaySpreadNs))
 	}
-	sb.WriteString("|arch" + archFingerprint(c.Cluster))
+	sb.WriteString("|arch" + ArchFingerprint(c.Cluster))
 	return sb.String(), nil
 }
 
-// archFingerprint hashes the complete cluster description — geometry,
+// ArchFingerprint hashes the complete cluster description — geometry,
 // latencies, wake costs, I$ and FU parameters — so two clusters that
-// time differently can never share cache entries, whatever their
-// names say.
-func archFingerprint(cfg *arch.Config) string {
+// time differently can never share cache entries, whatever their names
+// say. The analytic timing calibration (internal/timing) keys its
+// per-cluster coefficients by the same fingerprint, so a calibration
+// fitted on one geometry can never be evaluated on another.
+func ArchFingerprint(cfg *arch.Config) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", *cfg)
 	return strconv.FormatUint(h.Sum64(), 16)

@@ -52,6 +52,14 @@ type ChainConfig struct {
 	// concurrently on disjoint partitions with consecutive OFDM symbols
 	// overlapped (see Layout).
 	Layout Layout
+	// Timing selects how the slot's cycle counts are produced: the
+	// zero value runs the cycle-level engine, TimingAnalytic evaluates
+	// the calibrated closed-form model (internal/timing) instead. The
+	// engine entry points reject analytic configurations — resolving
+	// the mode is the orchestration layers' job (campaign.Runner,
+	// sched.Scheduler), which route analytic slots to the model and
+	// everything else here.
+	Timing TimingMode
 }
 
 // ChainResult summarizes a chain run.
@@ -160,6 +168,8 @@ func (c *ChainConfig) validate() error {
 		return fmt.Errorf("pusch: NPilot must be 2 (differential noise estimation), got %d", c.NPilot)
 	case c.NSymb <= c.NPilot:
 		return fmt.Errorf("pusch: NSymb %d must exceed NPilot %d", c.NSymb, c.NPilot)
+	case c.Timing != TimingCycleAccurate && c.Timing != TimingAnalytic:
+		return fmt.Errorf("pusch: unknown timing mode %q", c.Timing)
 	}
 	if err := c.Channel.Validate(); err != nil {
 		return fmt.Errorf("pusch: %w", err)
@@ -217,6 +227,14 @@ func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Timing == TimingAnalytic {
+		// The engine only ever produces cycle-accurate records; analytic
+		// slots are resolved by the calibrated model (internal/timing) in
+		// the orchestration layers. Rejecting them here makes an analytic
+		// record that secretly ran the engine — or an engine record
+		// stamped analytic — impossible by construction.
+		return nil, fmt.Errorf("pusch: analytic timing is resolved by the calibrated model (internal/timing), not the engine")
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
 

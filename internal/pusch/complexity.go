@@ -8,6 +8,19 @@
 // layouts partition the cores among concurrent stages and overlap
 // consecutive OFDM symbols — the spatial pipelining of the SDR
 // follow-up papers.
+//
+// A chain run's timing path is selected by ChainConfig.Timing
+// (TimingMode): the zero value executes the slot on the cycle-level
+// engine and measures every cycle, while TimingAnalytic marks the
+// configuration for the calibrated closed-form cycle model
+// (internal/timing) — the engine refuses such configurations, they
+// never derive a cache key, and the orchestration layers (campaign,
+// sched) resolve them through a loaded timing model instead. The
+// closed-form complexity model in this file is the analytic model's
+// structural ancestor: both express per-stage work as arithmetic over
+// the allocation's dimensions, but the calibrated model predicts
+// cluster cycles, not operation counts. docs/TIMING.md is the
+// specification.
 package pusch
 
 import (

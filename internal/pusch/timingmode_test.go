@@ -1,0 +1,83 @@
+package pusch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/waveform"
+)
+
+func timingTestConfig() ChainConfig {
+	return ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: waveform.QPSK,
+		SNRdB:  20,
+		Seed:   1,
+	}
+}
+
+// TestParseTimingMode covers every accepted spelling and the rejection
+// of unknown ones.
+func TestParseTimingMode(t *testing.T) {
+	for _, name := range []string{"", "cycle", "cycle-accurate"} {
+		mode, err := ParseTimingMode(name)
+		if err != nil || mode != TimingCycleAccurate {
+			t.Errorf("ParseTimingMode(%q) = %q, %v; want cycle-accurate", name, mode, err)
+		}
+	}
+	mode, err := ParseTimingMode("analytic")
+	if err != nil || mode != TimingAnalytic {
+		t.Errorf("ParseTimingMode(analytic) = %q, %v; want analytic", mode, err)
+	}
+	if _, err := ParseTimingMode("instant"); err == nil {
+		t.Error("ParseTimingMode(instant): want error")
+	}
+}
+
+// TestAnalyticConfigRejections: an analytic-timing configuration can
+// neither derive a cache key (predictions must never enter the
+// service-time cache) nor run on the engine (the model, not the
+// engine, resolves it).
+func TestAnalyticConfigRejections(t *testing.T) {
+	cfg := timingTestConfig()
+	cfg.Timing = TimingAnalytic
+
+	if _, err := cfg.CacheKey(); err == nil {
+		t.Error("CacheKey on analytic config: want error, got key")
+	}
+	if _, err := RunChain(cfg); err == nil || !strings.Contains(err.Error(), "analytic") {
+		t.Errorf("RunChain on analytic config: want analytic error, got %v", err)
+	}
+
+	cfg.Timing = TimingMode("instant")
+	if _, err := cfg.Normalized(); err == nil {
+		t.Error("bogus timing mode passed validation")
+	}
+}
+
+// TestNormalizedMatchesRun: Normalized applies exactly the defaults a
+// chain run would, so the analytic model predicts the same effective
+// coordinate the engine would execute.
+func TestNormalizedMatchesRun(t *testing.T) {
+	cfg := timingTestConfig()
+	cfg.Cluster = nil
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Cluster == nil || norm.Cluster.Name != "MemPool" {
+		t.Errorf("Normalized did not apply the MemPool fallback: %+v", norm.Cluster)
+	}
+	if norm.DataAmp == 0 || norm.Taps == 0 {
+		t.Errorf("Normalized did not apply run defaults: DataAmp=%v Taps=%d", norm.DataAmp, norm.Taps)
+	}
+
+	bad := timingTestConfig()
+	bad.NSC = 63
+	if _, err := bad.Normalized(); err == nil {
+		t.Error("Normalized accepted an invalid NSC")
+	}
+}

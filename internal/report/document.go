@@ -31,6 +31,39 @@ type Document struct {
 	// trace's aggregate picture with HostStats attached, so the BENCH
 	// artifact records host throughput and cache hit rate per commit.
 	Service *ServiceSummary `json:"service,omitempty"`
+
+	// Calibration is the benchgate calibration-gate summary: the
+	// analytic timing model's held-out relative cycle error per
+	// cluster against the committed budget, so the BENCH artifact
+	// records model fidelity per commit. Like Service it is
+	// informational and never diffed.
+	Calibration *CalibrationSummary `json:"calibration,omitempty"`
+}
+
+// CalibrationSummary is the analytic timing model's held-out error
+// picture: for each calibrated cluster, the relative error of the
+// model's total slot-cycle predictions over the held-out scenario grid
+// (never the fit grid), against the error budget committed inside the
+// calibration artifact. The benchgate calibration gate fails when any
+// cluster's P95 exceeds the budget.
+type CalibrationSummary struct {
+	// Schema echoes the calibration artifact's schema tag
+	// ("timing-cal/v1").
+	Schema string `json:"schema"`
+	// BudgetP95 is the committed ceiling on P95 relative error.
+	BudgetP95 float64                   `json:"budget_p95"`
+	Clusters  []CalibrationClusterError `json:"clusters"`
+}
+
+// CalibrationClusterError is one cluster's held-out error statistics:
+// quantiles of |predicted - measured| / measured over the holdout
+// grid's total slot cycles.
+type CalibrationClusterError struct {
+	Cluster string  `json:"cluster"`
+	Points  int     `json:"points"`
+	P50     float64 `json:"p50_rel_err"`
+	P95     float64 `json:"p95_rel_err"`
+	Max     float64 `json:"max_rel_err"`
 }
 
 // NewDocument returns an empty v1 document for the named tool.

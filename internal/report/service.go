@@ -34,6 +34,13 @@ type JobRecord struct {
 type ServiceSummary struct {
 	Kind string `json:"kind"` // always "summary"
 
+	// Timing is "analytic" when every served record in the run was
+	// produced by the calibrated cycle model rather than the engine
+	// (omitted for cycle-accurate and mixed runs, keeping the
+	// pre-analytic wire bytes). Consumers use it to keep analytic
+	// service summaries out of cycle-accurate baselines.
+	Timing string `json:"timing,omitempty"`
+
 	// Offered traffic: every job in the trace, including dropped and
 	// failed ones.
 	Jobs int `json:"jobs"`

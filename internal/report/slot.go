@@ -83,6 +83,14 @@ type SlotRecord struct {
 	// pipelined runs). Omitted for the sequential layout, whose wire
 	// bytes predate the layout subsystem.
 	Layout string `json:"layout,omitempty"`
+
+	// Timing marks how the record's cycle counts were produced:
+	// "analytic" for predictions of the calibrated closed-form cycle
+	// model (internal/timing), omitted for cycle-accurate engine runs,
+	// whose wire bytes predate the analytic mode. Stamped records are
+	// model output, not measurements: the service-time cache refuses
+	// them and baseline diffs distinguish them by Key.
+	Timing string `json:"timing,omitempty"`
 }
 
 // Key returns the stable identity used to match slot records across
@@ -110,6 +118,12 @@ func (r *SlotRecord) Key() string {
 	}
 	if r.Layout != "" {
 		key += "/" + r.Layout
+	}
+	if r.Timing != "" {
+		// An analytic prediction and a cycle-accurate measurement of the
+		// same slot are different records; they must never collide in a
+		// baseline diff.
+		key += "/" + r.Timing
 	}
 	return key
 }

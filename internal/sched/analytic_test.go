@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pusch"
+	"repro/internal/timecache"
+	"repro/internal/timing"
+	"repro/internal/waveform"
+)
+
+func analyticModel(t *testing.T) *timing.Model {
+	t.Helper()
+	m, err := timing.Load("../../testdata/calibration.json")
+	if err != nil {
+		t.Fatalf("loading committed calibration: %v", err)
+	}
+	return m
+}
+
+// analyticTrace is the Table I mixed trace with every job pinned to the
+// analytic timing path.
+func analyticTrace(t *testing.T, jobs int) []Job {
+	t.Helper()
+	base := pusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: waveform.QPSK,
+		SNRdB:  20,
+		Seed:   1,
+		Timing: pusch.TimingAnalytic,
+	}
+	trace := MixedTrace(TableIMix(&base), jobs, 2, 1)
+	if len(trace) != jobs {
+		t.Fatalf("trace has %d jobs, want %d", len(trace), jobs)
+	}
+	return trace
+}
+
+// TestAnalyticServeDeterministic: an analytic trace serves
+// byte-identically across worker counts, every served record and the
+// summary are stamped, and the cache stays untouched.
+func TestAnalyticServeDeterministic(t *testing.T) {
+	model := analyticModel(t)
+	trace := analyticTrace(t, 12)
+
+	cache := timecache.New(0)
+	cfg := Config{Servers: 2, Seed: 1, Workers: 1, Model: model, Cache: cache}
+	ref, refSum := serveBytes(t, cfg, trace)
+
+	if refSum.Timing != string(pusch.TimingAnalytic) {
+		t.Errorf("summary timing = %q, want analytic", refSum.Timing)
+	}
+	if refSum.Served != 12 || refSum.Dropped != 0 {
+		t.Errorf("summary served/dropped = %d/%d, want 12/0", refSum.Served, refSum.Dropped)
+	}
+	if st := cache.Stats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("analytic service touched the cache: %+v", st)
+	}
+	// 12 served records plus the trailing summary line, all stamped.
+	if n := strings.Count(string(ref), `"timing":"analytic"`); n != 13 {
+		t.Errorf("stream stamps %d lines analytic, want 13", n)
+	}
+
+	for _, workers := range []int{2, 4} {
+		got, _ := serveBytes(t, Config{Servers: 2, Seed: 1, Workers: workers, Model: model}, trace)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d: analytic stream differs from single-worker run", workers)
+		}
+	}
+}
+
+// TestAnalyticServeNeedsModel: analytic jobs on a server without a
+// loaded model fail (and drop from the served stream) instead of
+// silently running the engine.
+func TestAnalyticServeNeedsModel(t *testing.T) {
+	trace := analyticTrace(t, 4)
+	_, sum := serveBytes(t, Config{Seed: 1, Workers: 1}, trace)
+	if sum.Failed != 4 || sum.Served != 0 {
+		t.Fatalf("summary failed/served = %d/%d, want 4/0", sum.Failed, sum.Served)
+	}
+	if sum.Timing != "" {
+		t.Errorf("failed-only summary stamped %q", sum.Timing)
+	}
+}
+
+// TestMixedTimingSummaryUnstamped: a trace mixing engine and analytic
+// jobs must not stamp the aggregate summary — it is not purely
+// analytic.
+func TestMixedTimingSummaryUnstamped(t *testing.T) {
+	model := analyticModel(t)
+	trace := analyticTrace(t, 4)
+	trace[0].Chain.Timing = pusch.TimingCycleAccurate
+	out, sum := serveBytes(t, Config{Seed: 1, Workers: 1, Model: model}, trace)
+	if sum.Served != 4 {
+		t.Fatalf("served %d, want 4", sum.Served)
+	}
+	if sum.Timing != "" {
+		t.Errorf("mixed-trace summary stamped %q, want unstamped", sum.Timing)
+	}
+	if n := strings.Count(string(out), `"timing":"analytic"`); n != 3 {
+		t.Errorf("stream stamps %d records analytic, want 3", n)
+	}
+}
+
+// TestSpecTimingRoundTrip: the wire form carries the timing pin both
+// ways — an analytic job serializes it, and a spec can pin a job back
+// to cycle-accurate under an analytic server default.
+func TestSpecTimingRoundTrip(t *testing.T) {
+	defaults := pusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: waveform.QPSK,
+		Timing: pusch.TimingAnalytic,
+	}
+
+	// Inherit: an empty spec rides the analytic default.
+	job, err := Spec{Arrival: 0}.Job(defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Chain.Timing != pusch.TimingAnalytic {
+		t.Errorf("empty spec timing = %q, want inherited analytic", job.Chain.Timing)
+	}
+
+	// Pin back: "cycle-accurate" overrides the analytic default.
+	job, err = Spec{Arrival: 0, Timing: "cycle-accurate"}.Job(defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Chain.Timing != pusch.TimingCycleAccurate {
+		t.Errorf("pinned spec timing = %q, want cycle-accurate", job.Chain.Timing)
+	}
+
+	// Serialize: JobSpec writes the analytic pin so traces replay it.
+	sp, err := JobSpec(Job{Chain: defaults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Timing != string(pusch.TimingAnalytic) {
+		t.Errorf("JobSpec timing = %q, want analytic", sp.Timing)
+	}
+
+	// Reject: unknown spellings fail at parse.
+	if _, err := (Spec{Timing: "instant"}).Job(defaults); err == nil {
+		t.Error("bogus timing spelling: want error, got job")
+	}
+}

@@ -34,6 +34,17 @@
 // trace, seed and service discipline produce identical JSONL across
 // runs and across worker counts.
 //
+// A job's timing path follows its ChainConfig.Timing: cycle-accurate
+// jobs run the engine (consulting the service-time cache when one is
+// configured), while analytic jobs are resolved by the calibrated
+// cycle model in Config.Model — no engine run, no cache traffic — and
+// their served records are stamped "timing":"analytic". Analytic jobs
+// on a server without a loaded model fail at dispatch rather than
+// silently falling back to the engine, and a mixed trace stamps the
+// aggregate summary only when every served slot was analytic. Job
+// specs carry the pin on the wire (Spec.Timing), so a trace can pin
+// individual jobs back to the engine under an analytic server default.
+//
 // Traffic comes from generators (PoissonTrace, BurstyTrace, MixedTrace
 // over the Table I use-case blends), from campaign scenarios
 // (FromScenarios), or from JSONL job specs read off a stream

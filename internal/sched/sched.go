@@ -5,6 +5,7 @@ import (
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/timecache"
+	"repro/internal/timing"
 )
 
 // DefaultQueueDepth is the bounded wait-queue capacity used when a
@@ -53,6 +54,13 @@ type Config struct {
 	// the cache changes wall-clock time only, never results. Jobs whose
 	// configuration has no replayable coordinate bypass it.
 	Cache *timecache.Cache
+	// Model resolves jobs whose ChainConfig.Timing is analytic: their
+	// service times are predictions of the calibrated closed-form
+	// cycle model (internal/timing) instead of engine measurements,
+	// their records are stamped timing="analytic", and the cache is
+	// bypassed in both directions. Analytic jobs without a loaded
+	// model surface as Failed. Cycle-accurate jobs never consult it.
+	Model *timing.Model
 }
 
 // Outcome classifies what the service did with one job.

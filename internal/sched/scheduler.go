@@ -2,6 +2,7 @@ package sched
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"sort"
@@ -143,10 +144,24 @@ func (s *Scheduler) measureAll(jobs []Job, order []int) ([]measured, *engine.Sha
 	sharded := engine.NewSharded(workers)
 	meas := make([]measured, len(jobs))
 	cache := s.Cfg.Cache
+	model := s.Cfg.Model
 	run := func(pool *engine.Machines, pos int) {
 		cfg := jobs[order[pos]].Chain
 		if cfg.Seed == 0 {
 			cfg.Seed = jobSeed(base, pos)
+		}
+		// Analytic jobs resolve against the calibrated model before — and
+		// entirely instead of — the cache and the machine pool; their
+		// stamped records can never enter the cache (CacheKey refuses
+		// them, and timecache.Add refuses stamped records).
+		if cfg.Timing == pusch.TimingAnalytic {
+			if model == nil {
+				meas[pos] = measured{err: fmt.Errorf("sched: analytic timing requested but no calibration model is loaded (Config.Model)")}
+				return
+			}
+			rec, err := model.Predict(cfg)
+			meas[pos] = measured{rec: rec, err: err}
+			return
 		}
 		// Consult the service-time cache before the machine pool. A key
 		// derivation error (invalid config, non-canonical layout) bypasses
@@ -297,6 +312,7 @@ func (s *Scheduler) summarize(results []JobResult, meas []measured, servers, que
 	}
 	var firstArrival, lastEvent int64
 	var busy, waitSum, latSum int64
+	analytic := 0
 	for i := range results {
 		r := &results[i]
 		if i == 0 || r.Arrival < firstArrival {
@@ -308,6 +324,9 @@ func (s *Scheduler) summarize(results []JobResult, meas []measured, servers, que
 		switch r.Outcome {
 		case Served:
 			sum.Served++
+			if r.Record.Timing == string(pusch.TimingAnalytic) {
+				analytic++
+			}
 			sum.OfferedBits += r.Record.PayloadBits
 			sum.ServedBits += r.Record.PayloadBits
 			busy += r.ServiceCycles
@@ -329,6 +348,13 @@ func (s *Scheduler) summarize(results []JobResult, meas []measured, servers, que
 		case Failed:
 			sum.Failed++
 		}
+	}
+	// A run whose every served record came from the analytic model is
+	// itself analytic: the summary carries the stamp so downstream
+	// consumers never mistake predicted service figures for measured
+	// ones. Mixed runs stay unstamped (their per-record stamps tell).
+	if sum.Served > 0 && analytic == sum.Served {
+		sum.Timing = string(pusch.TimingAnalytic)
 	}
 	sum.HorizonCycles = lastEvent - firstArrival
 	sum.HorizonMs = float64(sum.HorizonCycles) / CyclesPerMs

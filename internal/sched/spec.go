@@ -51,6 +51,12 @@ type Spec struct {
 	// "pipe" for the job cluster's stock pipelined split, or an explicit
 	// "pipe/f<F>/b<B>/d<D>"). Empty inherits the server default.
 	Layout string `json:"layout,omitempty"`
+
+	// Timing selects the job's timing path: "analytic" for the
+	// calibrated cycle model, "cycle-accurate" to pin the engine even
+	// under an analytic server default. Empty inherits the server
+	// default.
+	Timing string `json:"timing,omitempty"`
 }
 
 // ParseScheme maps the wire names to waveform schemes.
@@ -142,6 +148,13 @@ func (sp Spec) Job(defaults pusch.ChainConfig) (Job, error) {
 	if sp.ChannelTimeMs != 0 {
 		cfg.Channel.TimeMs = sp.ChannelTimeMs
 	}
+	if sp.Timing != "" {
+		tm, err := pusch.ParseTimingMode(sp.Timing)
+		if err != nil {
+			return Job{}, err
+		}
+		cfg.Timing = tm
+	}
 	if sp.Layout != "" {
 		// Resolve "pipe" against the job's effective cluster (the
 		// scheduler's own fallback for a nil cluster is MemPool).
@@ -227,6 +240,9 @@ func JobSpec(j Job) (Spec, error) {
 			return Spec{}, err
 		}
 		sp.Layout = w
+	}
+	if j.Chain.Timing != pusch.TimingCycleAccurate {
+		sp.Timing = string(j.Chain.Timing)
 	}
 	return sp, nil
 }

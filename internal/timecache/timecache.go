@@ -104,8 +104,17 @@ func (c *Cache) Lookup(key string) (report.SlotRecord, bool) {
 
 // Add memoizes rec under key, evicting the least recently used entry
 // when the cache is full. Re-adding an existing key refreshes its
-// record and LRU position.
+// record and LRU position. Records stamped with a timing mode
+// (Timing != "", i.e. analytic model predictions) are silently
+// refused: the cache's contract is that every entry replays a
+// cycle-accurate engine run byte for byte, and a prediction is not a
+// measurement. (Analytic paths never derive a cache key in the first
+// place — pusch.ChainConfig.CacheKey errors on them — so this guard is
+// defense in depth.)
 func (c *Cache) Add(key string, rec report.SlotRecord) {
+	if rec.Timing != "" {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.add(key, rec)
@@ -170,11 +179,12 @@ func (c *Cache) WriteJSONL(w io.Writer) error {
 
 // ReadJSONL loads entries from a WriteJSONL stream into the cache.
 // added counts entries accepted; rejected counts structurally suspect
-// lines (empty key, recordless entry) that were skipped — a poisoned
-// or truncated-at-write cache entry becomes a future miss, never a
-// wrong timing. Malformed JSON aborts with an error: that is file
-// corruption, not a stale schema, and silently continuing could mask
-// a half-written file.
+// lines (empty key, recordless entry, or an analytic-stamped record,
+// which is a model prediction and has no business in a cache of
+// measurements) that were skipped — a poisoned or truncated-at-write
+// cache entry becomes a future miss, never a wrong timing. Malformed
+// JSON aborts with an error: that is file corruption, not a stale
+// schema, and silently continuing could mask a half-written file.
 func (c *Cache) ReadJSONL(r io.Reader) (added, rejected int, err error) {
 	dec := json.NewDecoder(r)
 	for {
@@ -185,7 +195,7 @@ func (c *Cache) ReadJSONL(r io.Reader) (added, rejected int, err error) {
 			}
 			return added, rejected, fmt.Errorf("timecache: load: %w", err)
 		}
-		if e.Key == "" || e.Record.Kind == "" {
+		if e.Key == "" || e.Record.Kind == "" || e.Record.Timing != "" {
 			rejected++
 			continue
 		}

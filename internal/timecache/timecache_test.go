@@ -149,3 +149,44 @@ func TestLoadFileMissing(t *testing.T) {
 		t.Fatalf("missing file must be a cold start, got %d, %d, %v", added, rejected, err)
 	}
 }
+
+// TestAnalyticRecordsRefused: the cache holds measurements only. An
+// analytic-stamped record is refused at Add and rejected at load — a
+// prediction can never be replayed as an engine result.
+func TestAnalyticRecordsRefused(t *testing.T) {
+	c := New(8)
+	stamped := rec(100)
+	stamped.Timing = "analytic"
+	c.Add("a", stamped)
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("analytic record was cached")
+	}
+	if st := c.Stats(); st.Stores != 0 || st.Entries != 0 {
+		t.Fatalf("refused Add moved counters: %+v", st)
+	}
+
+	// A persisted stream carrying a stamped entry (as if written by a
+	// buggy or hostile producer) loads everything else and rejects it.
+	src := New(8)
+	src.Add("good", rec(100))
+	var buf bytes.Buffer
+	if err := src.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"key":"bad","record":{"kind":"chain","cluster":"MemPool","cycles":1,"timing":"analytic"}}` + "\n")
+
+	dst := New(8)
+	added, rejected, err := dst.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || rejected != 1 {
+		t.Fatalf("added %d rejected %d, want 1 and 1", added, rejected)
+	}
+	if _, ok := dst.Lookup("bad"); ok {
+		t.Fatal("stamped entry served after load")
+	}
+	if _, ok := dst.Lookup("good"); !ok {
+		t.Fatal("clean entry lost")
+	}
+}

@@ -1,0 +1,122 @@
+package timing
+
+import "math"
+
+// solve computes the weighted least-squares coefficients of y ~ X beta
+// by normal equations with Gaussian elimination (partial pivoting).
+// Rows are weighted 1/y^2, so the fit minimizes relative — not
+// absolute — error: the calibration gate budgets relative cycle error,
+// and an unweighted fit would let the largest slots dominate. A
+// rank-deficient column (pivot below 1e-12) yields a zero coefficient
+// instead of a blow-up; the dropped direction simply contributes
+// nothing to predictions.
+func solve(X [][]float64, y []float64) []float64 {
+	n := len(X[0])
+	A := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+	}
+	for r, row := range X {
+		w := 1.0 / (y[r] * y[r])
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				A[i][j] += w * row[i] * row[j]
+			}
+			b[i] += w * row[i] * y[r]
+		}
+	}
+	for c := 0; c < n; c++ {
+		piv := c
+		for r := c + 1; r < n; r++ {
+			if math.Abs(A[r][c]) > math.Abs(A[piv][c]) {
+				piv = r
+			}
+		}
+		A[c], A[piv] = A[piv], A[c]
+		b[c], b[piv] = b[piv], b[c]
+		if math.Abs(A[c][c]) < 1e-12 {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			if r == c {
+				continue
+			}
+			f := A[r][c] / A[c][c]
+			for j := c; j < n; j++ {
+				A[r][j] -= f * A[c][j]
+			}
+			b[r] -= f * b[c]
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if math.Abs(A[i][i]) > 1e-12 {
+			out[i] = b[i] / A[i][i]
+		}
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// hinge is one (cluster, stage, NSC-class) cycle model in
+// per-repetition space: wall/reps = max(J0, x . Beta). J0 is the
+// wake/barrier plateau — every job enrolls the whole partition, so the
+// fork-join wake wave costs a near-constant floor per repetition that
+// hides small work terms — and x . Beta is the work arm that takes
+// over once the per-repetition work outgrows the plateau. A plain
+// linear model cannot represent this saturation; the hinge is what
+// brings held-out error under the budget.
+type hinge struct {
+	J0   float64
+	Beta []float64
+}
+
+// fitHinge fits the hinge by alternating regime assignment: initialize
+// J0 at the smallest observation and Beta on all rows, then repeatedly
+// (a) split rows into plateau rows (both prediction and observation at
+// the floor) and work rows, (b) re-estimate J0 as the plateau mean and
+// Beta on the work rows. Forty iterations is far past convergence on
+// every calibration grid; the fixed count keeps the fit deterministic.
+func fitHinge(X [][]float64, y []float64) hinge {
+	j0 := y[0]
+	for _, v := range y {
+		if v < j0 {
+			j0 = v
+		}
+	}
+	beta := solve(X, y)
+	for it := 0; it < 40; it++ {
+		var Xa [][]float64
+		var ya, plateau []float64
+		for r := range X {
+			if dot(X[r], beta) > j0 || y[r] > j0*1.03 {
+				Xa = append(Xa, X[r])
+				ya = append(ya, y[r])
+			} else {
+				plateau = append(plateau, y[r])
+			}
+		}
+		if len(plateau) > 0 {
+			s := 0.0
+			for _, v := range plateau {
+				s += v
+			}
+			j0 = s / float64(len(plateau))
+		}
+		if len(Xa) >= len(X[0]) {
+			beta = solve(Xa, ya)
+		}
+	}
+	return hinge{J0: j0, Beta: beta}
+}
+
+// predict evaluates the hinge at one per-repetition feature vector.
+func (h hinge) predict(x []float64) float64 { return math.Max(h.J0, dot(x, h.Beta)) }

@@ -35,6 +35,16 @@
 // embedded in the -out document as the artifact's "calibration"
 // section.
 //
+// The fleet gate serves a mobile mixed trace through the multi-cell
+// fleet layer (internal/fleet) and requires the plain scheduler's
+// determinism contract to survive sharding: a 1-cell fleet's JSONL
+// stream must be byte-identical to the plain scheduler's on the same
+// trace, and a 3-cell SINR-routed fleet's stream must be
+// byte-identical across measurement worker counts and under the
+// service-time cache. The 3-cell fleet summary (per-cell service,
+// handovers) is embedded in the -out document as the artifact's
+// "fleet" section.
+//
 // Usage:
 //
 //	benchgate [-baseline testdata/baseline_kernels.json]
@@ -49,11 +59,11 @@
 // fit grid and rewrites the committed artifact instead of gating.
 //
 // Exit status: 0 when the tree reproduces the baseline exactly and the
-// layout, cache and calibration gates hold, 1 on kernel drift (the
-// report distinguishes regressions from improvements — both gate,
+// layout, cache, calibration and fleet gates hold, 1 on kernel drift
+// (the report distinguishes regressions from improvements — both gate,
 // because baselines must be regenerated deliberately with `go run
-// ./cmd/kernelbench -update-baseline`) or a layout-, cache- or
-// calibration-gate failure, 2 on operational errors.
+// ./cmd/kernelbench -update-baseline`) or a layout-, cache-,
+// calibration- or fleet-gate failure, 2 on operational errors.
 package main
 
 import (
@@ -66,7 +76,9 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bench"
 	"repro/internal/campaign"
+	"repro/internal/channel"
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -227,6 +239,67 @@ func runCacheGate() cacheVerdict {
 	return v
 }
 
+// fleetGateTrace is the fleet gate's offered traffic: the cache gate's
+// mixed trace put on a TDL-B 30 Hz mobile channel (handover and
+// SINR-aware routing need evolving per-UE link state), drawn from the
+// n-cell fleet's UE population.
+func fleetGateTrace(cells int) []sched.Job {
+	base := sched.Mobile(gateChain(), channel.TDLB, 30, 0)
+	return fleet.MixedTrace(cells, sched.TableIMix(&base), cacheGateJobs, 2, 1)
+}
+
+// fleetVerdict is the outcome of the fleet-serving gate.
+type fleetVerdict struct {
+	identity bool // 1-cell fleet bytes == plain scheduler bytes
+	workers  bool // 3-cell stream byte-identical across worker counts
+	cached   bool // 3-cell cached stream byte-identical to uncached
+	sum      report.FleetSummary
+}
+
+// runFleetGate pins the fleet layer's determinism contract: a 1-cell
+// fleet must reproduce the plain scheduler byte for byte on the same
+// mobile trace, and a 3-cell SINR-routed fleet must emit identical
+// bytes across measurement worker counts and under the service-time
+// cache. The 3-cell summary rides along in the artifact.
+func runFleetGate() fleetVerdict {
+	serve := func(cells, workers int, cache *timecache.Cache, trace []sched.Job) ([]byte, report.FleetSummary) {
+		f := &fleet.Fleet{Cfg: fleet.Config{
+			Cells:   fleet.Homogeneous(cells, fleet.Cell{Servers: 2}),
+			Policy:  fleet.SINRAware,
+			Workers: workers,
+			Seed:    1,
+			Cache:   cache,
+		}}
+		var buf bytes.Buffer
+		sum, err := f.WriteJSONL(&buf, trace)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		return buf.Bytes(), sum
+	}
+
+	oneTrace := fleetGateTrace(1)
+	var plain bytes.Buffer
+	s := &sched.Scheduler{Cfg: sched.Config{Servers: 2, Seed: 1}}
+	if _, err := s.WriteJSONL(&plain, oneTrace); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	oneBytes, _ := serve(1, 0, nil, oneTrace)
+
+	threeTrace := fleetGateTrace(3)
+	ref, sum := serve(3, 1, nil, threeTrace)
+	wide, _ := serve(3, 8, nil, threeTrace)
+	cached, _ := serve(3, 0, timecache.New(0), threeTrace)
+	return fleetVerdict{
+		identity: bytes.Equal(plain.Bytes(), oneBytes),
+		workers:  bytes.Equal(ref, wide),
+		cached:   bytes.Equal(ref, cached),
+		sum:      sum,
+	}
+}
+
 // layoutVerdict finds the sequential reference and the best pipelined
 // layout in the sweep records and reports whether the gate holds.
 func layoutVerdict(recs []report.SlotRecord) (seq, best report.SlotRecord, ok bool) {
@@ -315,6 +388,14 @@ func main() {
 	}
 	fresh.Calibration = calSum
 
+	// Fleet gate: multi-cell serving must hold the same determinism
+	// contract as the plain scheduler — 1-cell fleets byte-identical to
+	// it, multi-cell streams byte-identical across worker counts and
+	// under the cache. The 3-cell summary rides along in the artifact.
+	fv := runFleetGate()
+	fleetSum := fv.sum
+	fresh.Fleet = &fleetSum
+
 	if *outPath != "" {
 		if err := fresh.WriteFile(*outPath); err != nil {
 			log.Print(err)
@@ -349,8 +430,13 @@ func main() {
 			ce.Cluster, 100*ce.P50, 100*ce.P95, 100*ce.Max, ce.Points, 100*calSum.BudgetP95)
 	}
 
-	if len(drifts) == 0 && layoutOK && cacheOK && calOK {
-		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle, pipelined >= sequential, cached replay exact, analytic timing within budget\n",
+	fleetOK := fv.identity && fv.workers && fv.cached
+	eq := map[bool]string{true: "==", false: "!="}
+	fmt.Printf("benchgate: fleet gate on the %d-job mobile trace: 1-cell bytes %s plain scheduler, 3-cell bytes %s across workers, %s under cache; %d handover(s) among %d mobile UE(s)\n",
+		cacheGateJobs, eq[fv.identity], eq[fv.workers], eq[fv.cached], fv.sum.Handovers, fv.sum.MobileUEs)
+
+	if len(drifts) == 0 && layoutOK && cacheOK && calOK && fleetOK {
+		fmt.Printf("benchgate: OK — %d kernel records reproduce %s cycle for cycle, pipelined >= sequential, cached replay exact, analytic timing within budget, fleet serving deterministic\n",
 			len(fresh.Kernels), *baselinePath)
 		return
 	}
@@ -382,6 +468,16 @@ func main() {
 		fmt.Printf("benchgate: FAIL — analytic timing exceeds its held-out error budget (p95 > %.0f%%) against %s\n",
 			100*calSum.BudgetP95, *calibrationPath)
 		fmt.Println("benchgate: if the timing change is intentional, refit with: go run ./cmd/benchgate -update-calibration")
+	}
+	if !fleetOK {
+		switch {
+		case !fv.identity:
+			fmt.Println("benchgate: FAIL — 1-cell fleet is not byte-identical to the plain scheduler")
+		case !fv.workers:
+			fmt.Println("benchgate: FAIL — fleet stream differs across measurement worker counts")
+		default:
+			fmt.Println("benchgate: FAIL — fleet stream differs under the service-time cache")
+		}
 	}
 	os.Exit(1)
 }

@@ -30,7 +30,22 @@
 //	       [-layout sequential|pipe|pipe/f64/b32/d64]
 //	       [-cache] [-cache-cap N] [-cache-file file]
 //	       [-timing analytic] [-calibration file]
+//	       [-cells N] [-cell-config file] [-balance rr|least-queue|sinr]
 //	       [-servers N] [-queue N] [-workers N] [-seed N]
+//
+// -cells/-cell-config/-balance promote the server to a multi-cell
+// fleet (internal/fleet): -cells N serves through N identical cells
+// (each with its own -servers/-queue discipline), -cell-config reads a
+// JSON array of per-cell overrides ({"name", "cluster", "layout",
+// "timing", "servers", "queue"} — empty fields inherit the flag
+// defaults), and -balance picks the routing policy (round-robin,
+// least-queue, or sinr, under which mobile UEs hand over between cells
+// as their deterministic per-cell gains cross). In fleet mode the
+// -cluster/-layout/-timing flags become the default cell's serving
+// class (jobs that pin their own keep them), generated traces draw
+// from a UE population scaled to the fleet, and the stream ends with
+// one kind="cell-summary" line per cell plus a kind="fleet-summary"
+// line. A 1-cell fleet is byte-identical to the plain scheduler.
 //
 // -cache memoizes measured slot service times by scenario coordinate
 // (internal/timecache): repeated coordinates — trace replays, warm
@@ -66,6 +81,8 @@
 //	puschd -gen poisson -jobs 100 -rate 2 -servers 2
 //	puschd -gen mix -jobs 50 -rate 4 -queue 4
 //	puschd -gen poisson -channel tdl-b -doppler 30        # mobile UEs on TDL-B
+//	puschd -gen mix -channel tdl-b -doppler 30 -cells 3 -balance sinr
+//	puschd -cell-config cells.json -balance least-queue
 //	puschd -in trace.jsonl -servers 1 -queue 2
 //	puschd -gen poisson -jobs 20 -trace-out trace.jsonl   # save, then replay:
 //	puschd -in trace.jsonl
@@ -78,7 +95,10 @@ import (
 	"os"
 
 	"repro/internal/campaign"
+	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/pusch"
+	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/timecache"
 	"repro/internal/timing"
@@ -108,6 +128,9 @@ func main() {
 	cacheFile := flag.String("cache-file", "", "warm-start the service-time cache from this JSONL file and save it back after serving (implies -cache)")
 	timingFlag := flag.String("timing", "", "default timing path for served slots: cycle-accurate (default) or analytic (calibrated closed-form model)")
 	calibration := flag.String("calibration", timing.DefaultPath, "calibration artifact for -timing analytic")
+	cellsFlag := flag.Int("cells", 1, "serve through a fleet of N identical cells (internal/fleet); 1 without other fleet flags keeps the plain scheduler")
+	cellConfig := flag.String("cell-config", "", "JSON array of per-cell overrides (name, cluster, layout, timing, servers, queue); implies fleet mode")
+	balance := flag.String("balance", "", "fleet load-balancing policy: round-robin (default), least-queue, or sinr; implies fleet mode")
 	servers := flag.Int("servers", 1, "virtual slot processors serving the queue in simulated time")
 	queue := flag.Int("queue", sched.DefaultQueueDepth, "bounded wait-queue depth in slots (0 = default, negative = no queue)")
 	workers := flag.Int("workers", 0, "host measurement goroutines (0 = GOMAXPROCS); never affects results")
@@ -136,14 +159,52 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base.Layout = layout
 	mode, err := pusch.ParseTimingMode(*timingFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base.Timing = mode
+
+	// Fleet mode: serving coordinates (cluster, layout, timing) become
+	// the default CELL's class instead of being stamped into every
+	// generated job, so per-cell overrides from -cell-config can take
+	// effect; jobs that pin their own still win. The plain path keeps
+	// stamping them into the base, byte-for-byte the pre-fleet server.
+	fleetMode := *cellsFlag > 1 || *cellConfig != "" || *balance != ""
+	var cells []fleet.Cell
+	if fleetMode {
+		base.Cluster = nil
+		defCell := fleet.Cell{
+			Cluster: cluster,
+			Layout:  layout,
+			Timing:  mode,
+			Servers: *servers, QueueDepth: *queue,
+		}
+		if *cellConfig != "" {
+			cells, err = fleet.LoadCells(*cellConfig, defCell)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *cellsFlag > 1 && *cellsFlag != len(cells) {
+				log.Fatalf("-cells %d disagrees with %d cells in %s", *cellsFlag, len(cells), *cellConfig)
+			}
+		} else {
+			cells = fleet.Homogeneous(*cellsFlag, defCell)
+		}
+	} else {
+		base.Layout = layout
+		base.Timing = mode
+	}
+	policy, err := fleet.ParsePolicy(*balance)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var model *timing.Model
-	if mode == pusch.TimingAnalytic {
+	needModel := mode == pusch.TimingAnalytic
+	for _, c := range cells {
+		needModel = needModel || c.Timing == pusch.TimingAnalytic
+	}
+	if needModel {
 		model, err = timing.Load(*calibration)
 		if err != nil {
 			log.Fatalf("loading calibration: %v (regenerate with `go run ./cmd/benchgate -update-calibration`)", err)
@@ -161,7 +222,10 @@ func main() {
 		base = sched.Mobile(base, profile, *doppler, *ricianK)
 	}
 
-	trace, err := buildTrace(*inPath, *gen, base, *jobs, *rate, *burst, *gapMs, *snrMin, *snrMax, *seed)
+	// Generated traces draw their mobile-UE identities from a population
+	// scaled to the deployment: cells × DefaultUEPopulation distinct UEs.
+	pop := fleet.Population(len(cells))
+	trace, err := buildTrace(*inPath, *gen, base, *jobs, *rate, *burst, *gapMs, *snrMin, *snrMax, *seed, pop)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -196,17 +260,57 @@ func main() {
 		}
 	}
 
-	s := &sched.Scheduler{Cfg: sched.Config{
-		Servers:    *servers,
-		QueueDepth: *queue,
-		Workers:    *workers,
-		Seed:       *seed,
-		Cache:      cache,
-		Model:      model,
-	}}
-	sum, err := s.WriteJSONL(os.Stdout, trace)
-	if err != nil {
-		log.Fatal(err)
+	var pool *engine.PoolStats
+	var host *report.HostStats
+	if fleetMode {
+		f := &fleet.Fleet{Cfg: fleet.Config{
+			Cells:   cells,
+			Policy:  policy,
+			Workers: *workers,
+			Seed:    *seed,
+			Cache:   cache,
+			Model:   model,
+		}}
+		sum, err := f.WriteJSONL(os.Stdout, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool, host = sum.Pool, sum.Host
+		fmt.Fprintf(os.Stderr,
+			"puschd: fleet of %d cell(s), %s: %d jobs over %.3f ms: %d served, %d dropped, %d failed (drop rate %.1f%%)\n",
+			sum.Cells, sum.Policy, sum.Jobs, sum.HorizonMs, sum.Served, sum.Dropped, sum.Failed, sum.DropRate*100)
+		fmt.Fprintf(os.Stderr,
+			"puschd: offered %.3f Gb/s, served %.3f Gb/s; %d handover(s) among %d mobile UE(s); fleet utilization %.1f%%\n",
+			sum.OfferedGbps, sum.ServedGbps, sum.Handovers, sum.MobileUEs, sum.Utilization*100)
+		for c, cs := range sum.PerCell {
+			name := cs.Name
+			if name == "" {
+				name = fmt.Sprintf("cell-%d", c)
+			}
+			fmt.Fprintf(os.Stderr,
+				"puschd:   %s: %d served, %d dropped, %d failed; %.3f Gb/s served; utilization %.1f%% of %d server(s)\n",
+				name, cs.Served, cs.Dropped, cs.Failed, cs.ServedGbps, cs.Utilization*100, cs.Servers)
+		}
+	} else {
+		s := &sched.Scheduler{Cfg: sched.Config{
+			Servers:    *servers,
+			QueueDepth: *queue,
+			Workers:    *workers,
+			Seed:       *seed,
+			Cache:      cache,
+			Model:      model,
+		}}
+		sum, err := s.WriteJSONL(os.Stdout, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool, host = sum.Pool, sum.Host
+		fmt.Fprintf(os.Stderr,
+			"puschd: %d jobs over %.3f ms: %d served, %d dropped, %d failed (drop rate %.1f%%)\n",
+			sum.Jobs, sum.HorizonMs, sum.Served, sum.Dropped, sum.Failed, sum.DropRate*100)
+		fmt.Fprintf(os.Stderr,
+			"puschd: offered %.3f Gb/s, served %.3f Gb/s; wait mean %.0f / max %d cycles; utilization %.1f%% of %d server(s)\n",
+			sum.OfferedGbps, sum.ServedGbps, sum.MeanWaitCycles, sum.MaxWaitCycles, sum.Utilization*100, sum.Servers)
 	}
 	if cache != nil && *cacheFile != "" {
 		if err := cache.SaveFile(*cacheFile); err != nil {
@@ -214,31 +318,26 @@ func main() {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr,
-		"puschd: %d jobs over %.3f ms: %d served, %d dropped, %d failed (drop rate %.1f%%)\n",
-		sum.Jobs, sum.HorizonMs, sum.Served, sum.Dropped, sum.Failed, sum.DropRate*100)
-	fmt.Fprintf(os.Stderr,
-		"puschd: offered %.3f Gb/s, served %.3f Gb/s; wait mean %.0f / max %d cycles; utilization %.1f%% of %d server(s)\n",
-		sum.OfferedGbps, sum.ServedGbps, sum.MeanWaitCycles, sum.MaxWaitCycles, sum.Utilization*100, sum.Servers)
-	if sum.Pool != nil {
+	if pool != nil {
 		fmt.Fprintf(os.Stderr,
 			"puschd: machine pool: %d gets = %d built + %d reused, peak %d arenas\n",
-			sum.Pool.Gets, sum.Pool.Builds, sum.Pool.Reuses, sum.Pool.Peak)
+			pool.Gets, pool.Builds, pool.Reuses, pool.Peak)
 	}
-	if sum.Host != nil {
+	if host != nil {
 		fmt.Fprintf(os.Stderr,
-			"puschd: host: %.0f slots/s over %.2f s wall", sum.Host.SlotsPerSec, sum.Host.WallSeconds)
+			"puschd: host: %.0f slots/s over %.2f s wall", host.SlotsPerSec, host.WallSeconds)
 		if cache != nil {
 			fmt.Fprintf(os.Stderr, "; cache %d hits / %d misses (%.1f%% hit rate, %d entries)",
-				sum.Host.CacheHits, sum.Host.CacheMisses, sum.Host.CacheHitRate*100, cache.Len())
+				host.CacheHits, host.CacheMisses, host.CacheHitRate*100, cache.Len())
 		}
 		fmt.Fprintln(os.Stderr)
 	}
 }
 
 // buildTrace assembles the offered trace from the stream or the
-// selected generator.
-func buildTrace(inPath, gen string, base pusch.ChainConfig, jobs int, rate float64, burst int, gapMs, snrMin, snrMax float64, seed uint64) ([]sched.Job, error) {
+// selected generator, stamping mobile UEs over the deployment's
+// population block.
+func buildTrace(inPath, gen string, base pusch.ChainConfig, jobs int, rate float64, burst int, gapMs, snrMin, snrMax float64, seed uint64, pop sched.UEPopulation) ([]sched.Job, error) {
 	if inPath != "" {
 		r := os.Stdin
 		if inPath != "-" {
@@ -253,11 +352,11 @@ func buildTrace(inPath, gen string, base pusch.ChainConfig, jobs int, rate float
 	}
 	switch gen {
 	case "poisson":
-		return sched.PoissonTrace(base, jobs, rate, seed), nil
+		return sched.PoissonTracePop(base, jobs, rate, seed, pop), nil
 	case "bursty":
-		return sched.BurstyTrace(base, jobs, burst, rate, gapMs, seed), nil
+		return sched.BurstyTracePop(base, jobs, burst, rate, gapMs, seed, pop), nil
 	case "mix":
-		return sched.MixedTrace(sched.TableIMix(&base), jobs, rate, seed), nil
+		return sched.MixedTracePop(sched.TableIMix(&base), jobs, rate, seed, pop), nil
 	case "campaign":
 		// A campaign family served as a traffic stream: the SNR sweep's
 		// scenarios arrive evenly at the offered rate (clamped positive,
@@ -274,7 +373,7 @@ func buildTrace(inPath, gen string, base pusch.ChainConfig, jobs int, rate float
 		// FromScenarios reproduces campaign payloads but knows nothing of
 		// UEs; with -channel/-doppler set, attach the same per-UE evolving
 		// link state the generators stamp.
-		return sched.StampMobile(trace, seed), nil
+		return sched.StampMobileAs(trace, seed, pop), nil
 	default:
 		return nil, fmt.Errorf("unknown generator %q (want poisson, bursty, mix or campaign)", gen)
 	}

@@ -29,6 +29,7 @@
 //	puschsim -campaign profiles # fading-profile sweep (iid + TDL-A/B/C)
 //	puschsim -campaign link     # BER-vs-SNR link curves over TDL profiles
 //	puschsim -campaign layouts  # spatial-pipelining layout sweep (per-layout Gb/s)
+//	puschsim -campaign fleet    # fleet-size x balancing-policy serving sweep
 //
 // Flags: -cluster picks the simulated cluster for every mode;
 // -chol-batch, -serial, -full-mimo and -json shape the default Fig. 9c
@@ -41,7 +42,10 @@
 // -campaign fans a scenario family out across -workers host goroutines
 // with base seed -seed, emitting one JSON line per scenario (the
 // layouts campaign searches partition splits and reports each one's
-// slot throughput); -cache memoizes chain service times by scenario
+// slot throughput; the fleet campaign instead serves a mobile mixed
+// trace through 1/2/4-cell fleets under every balancing policy —
+// internal/fleet — and emits one kind="fleet-summary" line per point,
+// per-cell summaries included); -cache memoizes chain service times by scenario
 // coordinate (byte-identical replay, see internal/timecache) and
 // -cache-file persists the memo across runs for warm starts; -timing
 // analytic replaces every chain run's engine execution with the
@@ -55,6 +59,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -80,7 +85,7 @@ func main() {
 	doppler := flag.Float64("doppler", 0, "maximum Doppler shift in Hz (0 = static fading)")
 	layoutFlag := flag.String("layout", "", "chain-stage core layout for chain and campaign modes: sequential (default), pipe, or pipe/f<F>/b<B>/d<D>")
 	jsonOut := flag.Bool("json", false, "emit the Fig. 9c result as a typed JSON slot record instead of tables")
-	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters, chol, profiles, link or layouts")
+	campaignFlag := flag.String("campaign", "", "run a scenario campaign: snr, schemes, clusters, chol, profiles, link, layouts or fleet")
 	snrMin := flag.Float64("snr-min", 8, "campaign snr: first SNR point in dB")
 	snrMax := flag.Float64("snr-max", 26, "campaign snr: last SNR point in dB")
 	snrStep := flag.Float64("snr-step", 2, "campaign snr: SNR increment in dB")
@@ -252,6 +257,10 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 	}
 	base := campaignBase(cluster, scheme, chSpec, layout)
 	base.Timing = timing
+	if mode == "fleet" {
+		runFleetCampaign(base, workers, seed, cache, model)
+		return
+	}
 	if timing == pusch.TimingAnalytic && mode == "chol" {
 		log.Fatal("-timing analytic covers chain campaigns only; the chol campaign runs use-case slots, which are always cycle-accurate")
 	}
@@ -296,7 +305,7 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 		}
 		scenarios = pusch.CholScheduleSweep(uc, []int{1, 2, 4, 8, 16})
 	default:
-		log.Fatalf("unknown campaign %q (want snr, schemes, clusters, chol, profiles, link or layouts)", mode)
+		log.Fatalf("unknown campaign %q (want snr, schemes, clusters, chol, profiles, link, layouts or fleet)", mode)
 	}
 
 	if len(scenarios) == 0 {
@@ -305,6 +314,38 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 	runner := &pusch.Runner{Workers: workers, Seed: seed, Cache: cache, Model: model}
 	if err := pusch.WriteCampaignJSONL(os.Stdout, runner, scenarios); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// runFleetCampaign sweeps fleet size x balancing policy over one
+// mobile mixed trace per size (larger fleets draw from larger UE
+// populations), emitting one kind="fleet-summary" JSON line per point.
+// Pool/host figures are stripped so lines stay byte-deterministic
+// across runs and worker counts.
+func runFleetCampaign(base pusch.ChainConfig, workers int, seed uint64, cache *pusch.ServiceCache, model *pusch.TimingModel) {
+	if base.Channel.Legacy() {
+		// Handover and SINR-aware routing need mobile UEs: default to
+		// TDL-B at 30 Hz Doppler when no -channel is given.
+		base = sim.MobileChain(base, pusch.ChannelTDLB, 30, 0)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, cells := range []int{1, 2, 4} {
+		jobs := sim.FleetMixedTrace(cells, sim.TableIMix(&base), 24, 2, seed)
+		for _, policy := range sim.BalancePolicies() {
+			f := &sim.Fleet{Cfg: sim.FleetConfig{
+				Cells:   sim.HomogeneousFleet(cells, sim.FleetCell{Servers: 2}),
+				Policy:  policy,
+				Workers: workers,
+				Seed:    seed,
+				Cache:   cache,
+				Model:   model,
+			}}
+			_, sum := f.Serve(jobs)
+			sum.Pool, sum.Host = nil, nil
+			if err := enc.Encode(&sum); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -36,14 +36,19 @@
 //     or generated slot-traffic traces (Poisson, bursty, Table I
 //     blends, optionally over fading channels with mobile UEs) and
 //     reports offered/served Gb/s, queue-wait cycles and drops,
-//     byte-reproducibly;
+//     byte-reproducibly; -cells/-cell-config/-balance promote it to a
+//     multi-cell fleet (internal/fleet, re-exported via sim) with
+//     pluggable load balancing (round-robin, least-queue, SINR-aware)
+//     and deterministic mobile-UE handover between cells;
 //   - cmd/benchgate: the deterministic performance gate — it diffs a
 //     fresh run against the committed testdata/baseline_*.json cycle
 //     for cycle, enforces the layout gate (the best pipelined layout's
 //     slot throughput must stay at or above the sequential layout's on
-//     the small-allocation gate slot), and enforces the calibration
-//     gate (the analytic timing model's held-out error must stay under
-//     the committed budget).
+//     the small-allocation gate slot), enforces the calibration gate
+//     (the analytic timing model's held-out error must stay under the
+//     committed budget), and enforces the fleet gate (a 1-cell fleet
+//     byte-identical to the plain scheduler; multi-cell streams
+//     byte-identical across worker counts and under the cache).
 //
 // Slot timing is data-independent — a pure function of the scenario
 // coordinate — which the repo exploits through three timing paths: the
@@ -55,7 +60,7 @@
 // budget). docs/TIMING.md specifies the analytic model.
 //
 // The layer-by-layer map of the codebase — tcdm memory model up through
-// engine, kernels, chain, campaign/scheduler, telemetry and the
+// engine, kernels, chain, campaign/scheduler/fleet, telemetry and the
 // command-line tools — is docs/ARCHITECTURE.md.
 //
 // The benchmarks in bench_test.go wrap the same experiments as testing.B

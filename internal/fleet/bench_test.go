@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sched"
+)
+
+// BenchmarkFleetServe prices the whole serving stack — class-deduped
+// measurement on the real engine plus the serial fleet replay — over a
+// cells × workers grid on the tiny mobile mix. The benchgate fleet
+// gate records the corresponding host throughput (slots/s) in the
+// BENCH artifact's fleet section.
+func BenchmarkFleetServe(b *testing.B) {
+	base := sched.Mobile(tinyChain(), channel.TDLB, 30, 0)
+	for _, cells := range []int{1, 2, 4} {
+		trace := MixedTrace(cells, sched.TableIMix(&base), 8, 2, 1)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("cells=%d/workers=%d", cells, workers), func(b *testing.B) {
+				f := &Fleet{Cfg: Config{
+					Cells:  Homogeneous(cells, Cell{Servers: 2}),
+					Policy: SINRAware, Seed: 1, Workers: workers,
+				}}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					results, sum := f.Serve(trace)
+					if sum.Jobs != len(trace) {
+						b.Fatalf("summary covers %d jobs, want %d", sum.Jobs, len(trace))
+					}
+					_ = results
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFleetReplay isolates the routing + virtual-time replay +
+// summary path with synthetic measurements: the allocation budget of
+// the serving stack itself, independent of the engine.
+func BenchmarkFleetReplay(b *testing.B) {
+	var jobs []sched.Job
+	for i := 0; i < 256; i++ {
+		jobs = append(jobs, stubUEJob(fmt.Sprintf("j%d", i), int64(i)*500, 400, uint64(1+i%64)))
+	}
+	for _, policy := range Policies() {
+		b.Run(string(policy), func(b *testing.B) {
+			f := stubFleet(Config{
+				Cells:  Homogeneous(4, Cell{Servers: 2}),
+				Policy: policy, Seed: 1, Workers: 1,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if results, _ := f.Serve(jobs); len(results) != len(jobs) {
+					b.Fatalf("lost results")
+				}
+			}
+		})
+	}
+}

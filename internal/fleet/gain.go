@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"math"
+
+	"repro/internal/channel"
+)
+
+// The large-scale gain model: every (UE, cell) pair carries a slow
+// sinusoidal gain ripple — the shadowing/path-loss geometry of a UE
+// moving through a cell grid — whose phase and period derive from the
+// pair's hash. It is deliberately closed-form and engine-free: the
+// SINR-aware policy and the handover decision evaluate it at routing
+// time, so it must be a pure function of (UE fading seed, cell index,
+// channel time) with no state, making cell attachment deterministic
+// and cheap at million-UE scale. It shapes routing only; the measured
+// chain always runs at the job's own SNRdB (the fast fading around it
+// is internal/channel's job).
+const (
+	// GainSwingDB is the peak large-scale gain excursion either way.
+	GainSwingDB = 8.0
+	// Gain periods span minGainPeriodMs..maxGainPeriodMs per (UE, cell)
+	// pair: slow against the slot rate, fast enough that second-scale
+	// traces see handovers.
+	minGainPeriodMs = 400.0
+	maxGainPeriodMs = 1600.0
+	// gainSalt decorrelates the gain hash stream from the fading-seed
+	// stream the same UE identity feeds (channelSeedSalt in sched).
+	gainSalt = 0x9d5ce11f00dfaded
+)
+
+// u01 maps a hash to [0, 1) with 53-bit resolution.
+func u01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// CellGainDB is the large-scale gain of UE ueSeed toward cell at
+// channel time tMs, in dB: a sinusoid whose phase and period are a
+// pure function of the (UE, cell) pair. Handover decisions and the
+// SINR-aware policy derive entirely from it.
+func CellGainDB(ueSeed uint64, cell int, tMs float64) float64 {
+	h := channel.Mix64(ueSeed ^ gainSalt ^ (0x9e3779b97f4a7c15 * uint64(cell+1)))
+	phase := 2 * math.Pi * u01(h)
+	period := minGainPeriodMs + u01(channel.Mix64(h))*(maxGainPeriodMs-minGainPeriodMs)
+	return GainSwingDB * math.Cos(2*math.Pi*tMs/period+phase)
+}
+
+// EffectiveSINRdB is the job's operating SNR shifted by the UE's
+// large-scale gain toward the cell — the quantity the SINR-aware
+// policy maximizes.
+func EffectiveSINRdB(baseSNRdB float64, ueSeed uint64, cell int, tMs float64) float64 {
+	return baseSNRdB + CellGainDB(ueSeed, cell, tMs)
+}
+
+// AttachedCell is the cell a free-roaming UE attaches to at tMs in an
+// n-cell fleet: the gain argmax, lowest index on ties. It is the
+// SINR-aware routing decision with every cell admissible, exposed so
+// tests (and future mobility models) can predict handover sequences
+// without running a fleet.
+func AttachedCell(ueSeed uint64, n int, tMs float64) int {
+	best, bestGain := 0, math.Inf(-1)
+	for c := 0; c < n; c++ {
+		if g := CellGainDB(ueSeed, c, tMs); g > bestGain {
+			best, bestGain = c, g
+		}
+	}
+	return best
+}

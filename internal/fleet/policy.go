@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy names a cell-level load-balancing discipline. Every policy is
+// deterministic: the routed cell is a pure function of the trace and
+// the fleet configuration, never of measurement order or worker count.
+type Policy string
+
+const (
+	// RoundRobin rotates arrivals over the cells in arrival order,
+	// blind to load and channel state.
+	RoundRobin Policy = "round-robin"
+	// LeastQueue routes each arrival to the cell with the smallest
+	// backlog (busy servers plus queued jobs) at the arrival instant,
+	// lowest cell index on ties.
+	LeastQueue Policy = "least-queue"
+	// SINRAware routes each mobile UE to the admissible cell with the
+	// highest effective SINR at the arrival's channel time (see
+	// CellGainDB), lowest cell index on ties — the policy under which
+	// UEs hand over as their per-cell gains cross.
+	SINRAware Policy = "sinr"
+)
+
+// Policies lists every load-balancing policy, in flag order.
+func Policies() []Policy {
+	return []Policy{RoundRobin, LeastQueue, SINRAware}
+}
+
+// ParsePolicy resolves the -balance flag spellings. The empty string
+// defaults to round-robin, the neutral policy that keeps a
+// single-cell fleet indistinguishable from the plain scheduler.
+func ParsePolicy(name string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "rr", "roundrobin", "round-robin":
+		return RoundRobin, nil
+	case "least", "leastqueue", "least-queue":
+		return LeastQueue, nil
+	case "sinr", "sinr-aware":
+		return SINRAware, nil
+	}
+	return "", fmt.Errorf("fleet: unknown balance policy %q (want round-robin, least-queue, or sinr)", name)
+}

@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/pusch"
+	"repro/internal/sched"
+	"repro/internal/timecache"
+	"repro/internal/timing"
+)
+
+// mobileMixTrace is the property suite's fixed UE trace: the Table I
+// use-case mix over roaming TDL-B UEs, drawn over the fleet-scale
+// population so every cell count sees the same offered traffic.
+func mobileMixTrace(t *testing.T, cells, jobs int) []sched.Job {
+	t.Helper()
+	base := sched.Mobile(tinyChain(), channel.TDLB, 30, 0)
+	trace := MixedTrace(cells, sched.TableIMix(&base), jobs, 2, 1)
+	if len(trace) != jobs {
+		t.Fatalf("trace has %d jobs, want %d", len(trace), jobs)
+	}
+	return trace
+}
+
+// fleetBytes serves the trace and returns the JSONL stream.
+func fleetBytes(t *testing.T, f *Fleet, jobs []sched.Job) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := f.WriteJSONL(&buf, jobs); err != nil {
+		t.Fatalf("fleet serve: %v", err)
+	}
+	return buf.String()
+}
+
+// TestFleetByteIdenticalAcrossWorkers: the wire stream of a mobile UE
+// trace is byte-identical across measurement worker counts {1,3,8},
+// for single- and multi-cell fleets — the ISSUE's core replay
+// property, on the real engine.
+func TestFleetByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, cells := range []int{1, 3} {
+		trace := mobileMixTrace(t, cells, 18)
+		cfg := Config{Cells: Homogeneous(cells, Cell{Servers: 2}), Policy: SINRAware, Seed: 1}
+		var ref string
+		for _, workers := range []int{1, 3, 8} {
+			cfg.Workers = workers
+			got := fleetBytes(t, &Fleet{Cfg: cfg}, trace)
+			if workers == 1 {
+				ref = got
+				continue
+			}
+			if got != ref {
+				t.Fatalf("cells=%d: stream differs between workers=1 and workers=%d", cells, workers)
+			}
+		}
+	}
+}
+
+// TestFleetDeterministicAcrossCellCounts: for one fixed UE trace,
+// every fleet size replays identically run to run (the stream is a
+// pure function of trace × fleet config), and each size conserves the
+// offered traffic exactly.
+func TestFleetDeterministicAcrossCellCounts(t *testing.T) {
+	trace := mobileMixTrace(t, 3, 18)
+	for cells := 1; cells <= 3; cells++ {
+		cfg := Config{Cells: Homogeneous(cells, Cell{}), Policy: LeastQueue, Seed: 1, Workers: 4}
+		first := fleetBytes(t, &Fleet{Cfg: cfg}, trace)
+		second := fleetBytes(t, &Fleet{Cfg: cfg}, trace)
+		if first != second {
+			t.Fatalf("cells=%d: stream differs run to run", cells)
+		}
+		_, sum := (&Fleet{Cfg: cfg}).Serve(trace)
+		checkConservation(t, sum)
+		if sum.Jobs != len(trace) {
+			t.Fatalf("cells=%d: %d jobs summarized, want %d", cells, sum.Jobs, len(trace))
+		}
+	}
+}
+
+// TestHandoverDeterminism: the cell-assignment sequence of a mobile
+// trace is independent of measurement order (worker count) and follows
+// the pure-function attachment prediction; UEs do hand over on a
+// horizon longer than the gain periods.
+func TestHandoverDeterminism(t *testing.T) {
+	const cells = 3
+	// One UE slot every 10 ms for 2 s: spans several CellGainDB
+	// periods, so attachments must cross somewhere.
+	var jobs []sched.Job
+	for i := 0; i < 200; i++ {
+		arrival := int64(i) * 10 * sched.CyclesPerMs
+		jobs = append(jobs, stubUEJob(fmt.Sprintf("u%d", i), arrival, 100, uint64(1+i%4)))
+	}
+	cfg := Config{Cells: Homogeneous(cells, Cell{}), Policy: SINRAware}
+
+	cfg.Workers = 1
+	r1, sum1 := stubFleet(cfg).Serve(jobs)
+	cfg.Workers = 8
+	r8, sum8 := stubFleet(cfg).Serve(jobs)
+	if !equalInts(assignments(r1), assignments(r8)) {
+		t.Fatalf("assignment sequence differs between workers=1 and workers=8")
+	}
+	if sum1.Handovers != sum8.Handovers {
+		t.Fatalf("handover count differs: %d vs %d", sum1.Handovers, sum8.Handovers)
+	}
+	if sum1.Handovers == 0 {
+		t.Fatalf("no handovers over %d gain periods — mobility model inert", 2)
+	}
+	if sum1.MobileUEs != 4 {
+		t.Fatalf("mobile UEs = %d, want 4", sum1.MobileUEs)
+	}
+	// Every admitted slot sits on the cell the pure gain function
+	// attaches its UE to at its channel time (all cells admissible).
+	for i, r := range r1 {
+		job := jobs[i] // arrivals are strictly increasing, so order == input
+		want := AttachedCell(job.Chain.Channel.Seed, cells, job.Chain.Channel.TimeMs)
+		if r.Cell != want {
+			t.Fatalf("job %d on cell %d, want attached cell %d", i, r.Cell, want)
+		}
+	}
+}
+
+// TestFleetCacheByteIdentical: serving through a fresh service-time
+// cache and re-serving warm is byte-identical to the uncached run, and
+// the warm pass never touches the engine — PR 6 composition.
+func TestFleetCacheByteIdentical(t *testing.T) {
+	trace := mobileMixTrace(t, 2, 12)
+	mk := func(cache *timecache.Cache) *Fleet {
+		return &Fleet{Cfg: Config{
+			Cells: Homogeneous(2, Cell{}), Policy: RoundRobin,
+			Seed: 1, Workers: 4, Cache: cache,
+		}}
+	}
+	cold := fleetBytes(t, mk(nil), trace)
+	cache := timecache.New(0)
+	fresh := fleetBytes(t, mk(cache), trace)
+	if fresh != cold {
+		t.Fatalf("fresh-cache stream differs from uncached stream")
+	}
+	warmFleet := mk(cache)
+	var buf bytes.Buffer
+	sum, err := warmFleet.WriteJSONL(&buf, trace)
+	if err != nil {
+		t.Fatalf("warm serve: %v", err)
+	}
+	if buf.String() != cold {
+		t.Fatalf("warm-cache stream differs from uncached stream")
+	}
+	if sum.Host == nil || sum.Host.CacheMisses != 0 || sum.Host.CacheHits == 0 {
+		t.Fatalf("warm pass should be all hits, host stats %+v", sum.Host)
+	}
+}
+
+// TestFleetAnalyticByteIdentical: an analytic-timing fleet (every cell
+// predicting through the calibrated model) is byte-identical across
+// worker counts and stamps the fleet summary — PR 7 composition.
+func TestFleetAnalyticByteIdentical(t *testing.T) {
+	model, err := timing.Load("../../testdata/calibration.json")
+	if err != nil {
+		t.Fatalf("loading committed calibration: %v", err)
+	}
+	base := pusch.ChainConfig{
+		NSC: 64, NR: 16, NB: 8, NL: 4,
+		NSymb: 6, NPilot: 2,
+		Scheme: tinyChain().Scheme,
+		SNRdB:  20,
+	}
+	base.Cluster = tinyChain().Cluster
+	trace := Trace(2, base, 16, 2, 3)
+	cfg := Config{
+		Cells:  Homogeneous(2, Cell{Timing: pusch.TimingAnalytic}),
+		Policy: LeastQueue, Seed: 1, Model: model,
+	}
+	cfg.Workers = 1
+	ref := fleetBytes(t, &Fleet{Cfg: cfg}, trace)
+	cfg.Workers = 8
+	if got := fleetBytes(t, &Fleet{Cfg: cfg}, trace); got != ref {
+		t.Fatalf("analytic stream differs between workers=1 and workers=8")
+	}
+	_, sum := (&Fleet{Cfg: cfg}).Serve(trace)
+	if sum.Timing != string(pusch.TimingAnalytic) {
+		t.Fatalf("fleet summary timing = %q, want analytic", sum.Timing)
+	}
+	for c, cs := range sum.PerCell {
+		if cs.Served > 0 && cs.Timing != string(pusch.TimingAnalytic) {
+			t.Fatalf("cell %d summary unstamped: %+v", c, cs)
+		}
+	}
+}
+
+// TestUEPopulationScalesWithFleet: the fleet trace draws from
+// cells × DefaultUEPopulation distinct fading identities, so a bigger
+// deployment sees proportionally more UEs (the PR's population fix).
+func TestUEPopulationScalesWithFleet(t *testing.T) {
+	base := sched.Mobile(tinyChain(), channel.TDLB, 30, 0)
+	for _, cells := range []int{1, 3} {
+		trace := Trace(cells, base, cells*sched.DefaultUEPopulation*2, 4, 9)
+		seen := map[uint64]bool{}
+		for _, j := range trace {
+			seen[j.Chain.Channel.Seed] = true
+		}
+		want := cells * sched.DefaultUEPopulation
+		if len(seen) != want {
+			t.Fatalf("cells=%d: %d distinct UE identities, want %d", cells, len(seen), want)
+		}
+	}
+}

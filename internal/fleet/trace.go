@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/pusch"
+	"repro/internal/sched"
+)
+
+// Population is the fleet-wide mobile-UE identity space of an n-cell
+// deployment: the single-cell DefaultUEPopulation scaled by the cell
+// count, starting at UE 0. One shared arrival process drawn over it
+// exercises every cell without UE-seed collisions.
+func Population(n int) sched.UEPopulation {
+	if n < 1 {
+		n = 1
+	}
+	return sched.UEPopulation{Size: n * sched.DefaultUEPopulation}
+}
+
+// Trace draws the fleet's shared Poisson arrival process: n-cell
+// deployments cycle through Population(n) mobile-UE identities (when
+// base carries an active channel spec), so the trace scales its UE
+// diversity with the fleet instead of staying pinned to one cell's
+// population. A 1-cell trace is exactly sched.PoissonTrace.
+func Trace(n int, base pusch.ChainConfig, jobs int, ratePerMs float64, seed uint64) []sched.Job {
+	return sched.PoissonTracePop(base, jobs, ratePerMs, seed, Population(n))
+}
+
+// MixedTrace is Trace over a weighted configuration mix (see
+// sched.MixedTrace): the multi-use-case load of a whole deployment.
+func MixedTrace(n int, mix []sched.MixEntry, jobs int, ratePerMs float64, seed uint64) []sched.Job {
+	return sched.MixedTracePop(mix, jobs, ratePerMs, seed, Population(n))
+}
+
+// FromScenarios adapts a campaign scenario family into a mobile fleet
+// trace: sched.FromScenarios' jobs (one per chain scenario, spaced
+// spacingCycles apart, campaign-compatible payload seeds) stamped over
+// the n-cell UE population, so a campaign's scenarios ride the fleet
+// as roaming UEs. The skipped count mirrors sched.FromScenarios.
+func FromScenarios(n int, scenarios []campaign.Scenario, spacingCycles int64, seed uint64) ([]sched.Job, int) {
+	jobs, skipped := sched.FromScenarios(scenarios, spacingCycles, seed)
+	return sched.StampMobileAs(jobs, seed, Population(n)), skipped
+}

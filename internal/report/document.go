@@ -38,6 +38,12 @@ type Document struct {
 	// records model fidelity per commit. Like Service it is
 	// informational and never diffed.
 	Calibration *CalibrationSummary `json:"calibration,omitempty"`
+
+	// Fleet is the benchgate fleet-gate summary: the multi-cell serve
+	// of the gate trace with per-cell summaries and HostStats attached,
+	// so the BENCH artifact records fleet throughput per commit. Like
+	// Service it is informational and never diffed.
+	Fleet *FleetSummary `json:"fleet,omitempty"`
 }
 
 // CalibrationSummary is the analytic timing model's held-out error

@@ -1,0 +1,68 @@
+package report
+
+import "repro/internal/engine"
+
+// FleetSummary aggregates one multi-cell fleet run: the per-cell
+// service summaries plus the fleet-wide traffic picture. Emitted as
+// the final JSONL line of a fleet service run, tagged Kind
+// "fleet-summary", after one "cell-summary" line per cell (a
+// single-cell fleet degenerates to the plain scheduler wire format:
+// one "summary" line, no fleet line).
+type FleetSummary struct {
+	Kind string `json:"kind"` // always "fleet-summary"
+
+	// Cells is the fleet size; Policy names the load-balancing policy
+	// that routed arrivals ("round-robin", "least-queue", "sinr").
+	Cells  int    `json:"cells"`
+	Policy string `json:"policy"`
+
+	// Timing is "analytic" when every cell's served records came from
+	// the calibrated cycle model (omitted for cycle-accurate and mixed
+	// fleets, mirroring ServiceSummary.Timing).
+	Timing string `json:"timing,omitempty"`
+
+	// Offered traffic across the whole fleet; the outcome counters are
+	// the sums of the per-cell counters (the conservation invariant
+	// Jobs == Served + Dropped + Failed holds fleet-wide and per cell).
+	Jobs    int `json:"jobs"`
+	Served  int `json:"served"`
+	Dropped int `json:"dropped"`
+	Failed  int `json:"failed,omitempty"`
+
+	// Handovers counts served or queued admissions where a mobile UE's
+	// serving cell differs from its previous one — the deterministic
+	// migrations the fleet's routing produced. Legacy (non-fading) jobs
+	// never count.
+	Handovers int `json:"handovers"`
+	// MobileUEs is the number of distinct mobile-UE fading identities
+	// the trace carried (0 for all-legacy traces).
+	MobileUEs int `json:"mobile_ues,omitempty"`
+
+	// HorizonCycles spans the fleet's first arrival to its last
+	// completion; HorizonMs is the same at the nominal 1 GHz clock.
+	HorizonCycles int64   `json:"horizon_cycles"`
+	HorizonMs     float64 `json:"horizon_ms"`
+
+	// Aggregate payload figures on the fleet horizon, as in
+	// ServiceSummary but summed over cells.
+	OfferedBits int64   `json:"offered_bits"`
+	ServedBits  int64   `json:"served_bits"`
+	OfferedGbps float64 `json:"offered_gbps"`
+	ServedGbps  float64 `json:"served_gbps"`
+
+	// Utilization is busy server-cycles over total fleet server-cycles
+	// on the fleet horizon; DropRate is Dropped / Jobs.
+	Utilization float64 `json:"utilization"`
+	DropRate    float64 `json:"drop_rate"`
+
+	// PerCell carries each cell's own ServiceSummary (Kind
+	// "cell-summary", indexed by Cell). The JSONL stream emits these as
+	// separate lines; the BENCH artifact embeds them here.
+	PerCell []ServiceSummary `json:"per_cell,omitempty"`
+
+	// Pool and Host mirror ServiceSummary: host-side diagnostics that
+	// vary with worker count and wall clock, excluded from every
+	// byte-deterministic stream.
+	Pool *engine.PoolStats `json:"pool,omitempty"`
+	Host *HostStats        `json:"host,omitempty"`
+}

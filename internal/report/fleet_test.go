@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFleetSummaryWire pins the fleet-summary wire shape: kind tag,
+// cell-0 omission on per-cell records, and Pool/Host exclusion under
+// the byte-determinism contract.
+func TestFleetSummaryWire(t *testing.T) {
+	sum := FleetSummary{
+		Kind: "fleet-summary", Cells: 2, Policy: "sinr",
+		Jobs: 4, Served: 3, Dropped: 1, Handovers: 2, MobileUEs: 2,
+		PerCell: []ServiceSummary{
+			{Kind: "cell-summary", Jobs: 2, Served: 2},
+			{Kind: "cell-summary", Cell: 1, Jobs: 2, Served: 1, Dropped: 1},
+		},
+	}
+	raw, err := json.Marshal(&sum)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"kind":"fleet-summary"`) || !strings.Contains(s, `"policy":"sinr"`) {
+		t.Fatalf("fleet summary wire %s", s)
+	}
+	if strings.Contains(s, `"pool"`) || strings.Contains(s, `"host"`) {
+		t.Fatalf("nil pool/host must be omitted: %s", s)
+	}
+	perCell, err := json.Marshal(&sum.PerCell[0])
+	if err != nil {
+		t.Fatalf("marshal cell: %v", err)
+	}
+	if strings.Contains(string(perCell), `"cell"`) {
+		t.Fatalf("cell 0 must omit its index (pre-fleet wire bytes): %s", perCell)
+	}
+
+	var back FleetSummary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Cells != 2 || back.Handovers != 2 || len(back.PerCell) != 2 || back.PerCell[1].Cell != 1 {
+		t.Fatalf("round trip %+v", back)
+	}
+}
+
+// TestDocumentFleetSection: the BENCH document carries the fleet
+// section through a write/read cycle and omits it when absent.
+func TestDocumentFleetSection(t *testing.T) {
+	doc := NewDocument("benchgate")
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if strings.Contains(buf.String(), `"fleet"`) {
+		t.Fatalf("empty document must omit the fleet section")
+	}
+
+	doc.Fleet = &FleetSummary{Kind: "fleet-summary", Cells: 3, Policy: "round-robin", Jobs: 9}
+	buf.Reset()
+	if err := doc.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.Fleet == nil || back.Fleet.Cells != 3 || back.Fleet.Policy != "round-robin" {
+		t.Fatalf("fleet section lost: %+v", back.Fleet)
+	}
+}

@@ -13,6 +13,10 @@ type JobRecord struct {
 	Job  int    `json:"job"`
 	Name string `json:"name,omitempty"`
 
+	// Cell is the fleet cell that served the job. Single-cell runs and
+	// cell 0 omit it, keeping the pre-fleet wire bytes.
+	Cell int `json:"cell,omitempty"`
+
 	SlotRecord
 
 	// ArrivalCycle is when the slot entered the system, StartCycle when a
@@ -32,7 +36,15 @@ type JobRecord struct {
 // of a service run, tagged Kind "summary" so stream consumers can
 // separate it from the per-job records.
 type ServiceSummary struct {
-	Kind string `json:"kind"` // always "summary"
+	// Kind is "summary" for a standalone scheduler run and
+	// "cell-summary" for one cell's slice of a fleet run.
+	Kind string `json:"kind"`
+
+	// Cell is the summary's cell index inside a fleet; Name echoes the
+	// cell's label. Standalone summaries (and cell 0 of a fleet) omit
+	// Cell, keeping the pre-fleet wire bytes.
+	Cell int    `json:"cell,omitempty"`
+	Name string `json:"name,omitempty"`
 
 	// Timing is "analytic" when every served record in the run was
 	// produced by the calibrated cycle model rather than the engine

@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+)
+
+// TestUEPopulationBlocksDisjoint: two traces stamped over population
+// blocks with disjoint offsets share no fading identity — the
+// fleet-wide UE-collision fix. Before blocks existed, every per-cell
+// trace reused UEs 0..15 and their seeds collided across cells.
+func TestUEPopulationBlocksDisjoint(t *testing.T) {
+	base := Mobile(tinyChain(), channel.TDLB, 30, 0)
+	const seed = 5
+	cellA := StampMobileAs(PoissonTracePop(base, 32, 2, seed, UEPopulation{}), seed, UEPopulation{})
+	cellB := PoissonTracePop(base, 32, 2, seed, UEPopulation{Offset: DefaultUEPopulation})
+
+	seedsA := map[uint64]bool{}
+	for _, j := range cellA {
+		if j.Chain.Channel.Seed == 0 {
+			t.Fatalf("job %q unstamped", j.Name)
+		}
+		seedsA[j.Chain.Channel.Seed] = true
+	}
+	if len(seedsA) != DefaultUEPopulation {
+		t.Fatalf("block A carries %d identities, want %d", len(seedsA), DefaultUEPopulation)
+	}
+	for _, j := range cellB {
+		if seedsA[j.Chain.Channel.Seed] {
+			t.Fatalf("offset block reuses fading seed %x — per-cell populations collide", j.Chain.Channel.Seed)
+		}
+	}
+
+	// The zero block is the legacy stamping: byte-for-byte the seeds
+	// StampMobile (and every generator) has always produced.
+	legacy := StampMobile(PoissonTrace(base, 32, 2, seed), seed)
+	for i := range legacy {
+		if legacy[i].Chain.Channel.Seed != cellA[i].Chain.Channel.Seed {
+			t.Fatalf("zero population block diverges from legacy stamping at job %d", i)
+		}
+		if want := (UEPopulation{}).FadingSeed(seed, i); legacy[i].Chain.Channel.Seed != want {
+			t.Fatalf("job %d fading seed %x, want FadingSeed %x", i, legacy[i].Chain.Channel.Seed, want)
+		}
+	}
+}
+
+// TestUEPopulationIndexing pins the block arithmetic itself.
+func TestUEPopulationIndexing(t *testing.T) {
+	p := UEPopulation{Size: 4, Offset: 8}
+	for i, want := range []int{8, 9, 10, 11, 8, 9} {
+		if got := p.UE(i); got != want {
+			t.Fatalf("UE(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := (UEPopulation{}).UE(DefaultUEPopulation + 3); got != 3 {
+		t.Fatalf("zero block UE wraps to %d, want 3", got)
+	}
+	if (UEPopulation{Size: 4}).FadingSeed(1, 0) == (UEPopulation{Size: 4, Offset: 4}).FadingSeed(1, 0) {
+		t.Fatalf("offset blocks must derive distinct fading seeds")
+	}
+}

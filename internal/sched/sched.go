@@ -84,11 +84,19 @@ type JobResult struct {
 	Name    string
 	Arrival int64
 	Outcome Outcome
+	// Cell is the fleet cell the job was routed to (always 0 for a
+	// standalone scheduler run).
+	Cell int
 	// Error describes a Failed job's rejection.
 	Error string
 	// ServiceCycles is the slot's measured chain time (set for served
 	// jobs; also set for dropped jobs, whose measurement was discarded).
 	ServiceCycles int64
+	// OfferedBits is the slot's payload whether or not it was served:
+	// a dropped job's measurement never reaches a JobRecord, but its
+	// offered load still counts toward the summary (zero for Failed
+	// jobs, which carry no measurement).
+	OfferedBits int64
 	// Record is the service-level telemetry record of a served job.
 	Record report.JobRecord
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/timecache"
+	"repro/internal/timing"
 )
 
 // Scheduler admits a trace of slot jobs and serves it through the
@@ -25,8 +26,13 @@ type Scheduler struct {
 	// measure is the per-job measurement hook; nil runs the real chain
 	// on a pooled machine. Tests stub it to probe the queueing
 	// discipline with synthetic service times.
-	measure func(pool *engine.Machines, cfg pusch.ChainConfig) (report.SlotRecord, error)
+	measure MeasureFunc
 }
+
+// MeasureFunc measures one fully stamped slot configuration on a
+// machine from the pool. The production implementation runs the real
+// chain; tests substitute synthetic service times.
+type MeasureFunc func(pool *engine.Machines, cfg pusch.ChainConfig) (report.SlotRecord, error)
 
 // measureChain is the production measurement: one chain run on a
 // machine recycled through the worker's pool shard.
@@ -50,6 +56,47 @@ func measureChain(pool *engine.Machines, cfg pusch.ChainConfig) (report.SlotReco
 type measured struct {
 	rec report.SlotRecord
 	err error
+}
+
+// Resolve measures one fully stamped slot configuration through the
+// service fast paths, in precedence order: the calibrated analytic
+// model (for jobs whose Timing asks for it), the service-time cache,
+// then the engine via measure (nil means the production chain). It is
+// the single resolution path shared by the scheduler and the fleet
+// layer, so every serving stack composes identically with the cache
+// and the analytic mode.
+//
+// Analytic jobs resolve against the model before — and entirely
+// instead of — the cache and the machine pool; their stamped records
+// can never enter the cache (CacheKey refuses them, and timecache.Add
+// refuses stamped records). A cache-key derivation error (invalid
+// config, non-canonical layout) bypasses the cache entirely: invalid
+// configs still surface as errors from the measurement itself, and
+// unkeyable-but-valid ones are simply measured every time.
+func Resolve(pool *engine.Machines, cfg pusch.ChainConfig, cache *timecache.Cache, model *timing.Model, measure MeasureFunc) (report.SlotRecord, error) {
+	if measure == nil {
+		measure = measureChain
+	}
+	if cfg.Timing == pusch.TimingAnalytic {
+		if model == nil {
+			return report.SlotRecord{}, fmt.Errorf("sched: analytic timing requested but no calibration model is loaded (Config.Model)")
+		}
+		return model.Predict(cfg)
+	}
+	key := ""
+	if cache != nil {
+		if k, err := cfg.CacheKey(); err == nil {
+			key = k
+			if rec, ok := cache.Lookup(key); ok {
+				return rec, nil
+			}
+		}
+	}
+	rec, err := measure(pool, cfg)
+	if key != "" && err == nil {
+		cache.Add(key, rec)
+	}
+	return rec, err
 }
 
 // Serve runs the whole trace and returns per-job results in arrival
@@ -150,39 +197,8 @@ func (s *Scheduler) measureAll(jobs []Job, order []int) ([]measured, *engine.Sha
 		if cfg.Seed == 0 {
 			cfg.Seed = jobSeed(base, pos)
 		}
-		// Analytic jobs resolve against the calibrated model before — and
-		// entirely instead of — the cache and the machine pool; their
-		// stamped records can never enter the cache (CacheKey refuses
-		// them, and timecache.Add refuses stamped records).
-		if cfg.Timing == pusch.TimingAnalytic {
-			if model == nil {
-				meas[pos] = measured{err: fmt.Errorf("sched: analytic timing requested but no calibration model is loaded (Config.Model)")}
-				return
-			}
-			rec, err := model.Predict(cfg)
-			meas[pos] = measured{rec: rec, err: err}
-			return
-		}
-		// Consult the service-time cache before the machine pool. A key
-		// derivation error (invalid config, non-canonical layout) bypasses
-		// the cache entirely: invalid configs still surface as Failed from
-		// the measurement itself, and unkeyable-but-valid ones are simply
-		// measured every time.
-		key := ""
-		if cache != nil {
-			if k, err := cfg.CacheKey(); err == nil {
-				key = k
-				if rec, ok := cache.Lookup(key); ok {
-					meas[pos] = measured{rec: rec}
-					return
-				}
-			}
-		}
-		rec, err := measure(pool, cfg)
+		rec, err := Resolve(pool, cfg, cache, model, measure)
 		meas[pos] = measured{rec: rec, err: err}
-		if key != "" && err == nil {
-			cache.Add(key, rec)
-		}
 	}
 	if workers == 1 {
 		pool := sharded.Shard(0)
@@ -270,6 +286,7 @@ func (s *Scheduler) replay(jobs []Job, order []int, meas []measured, pool *engin
 			continue
 		}
 		r.ServiceCycles = meas[pos].rec.TotalCycles
+		r.OfferedBits = meas[pos].rec.PayloadBits
 
 		// Drain completions up to this arrival: queued jobs start as
 		// servers free.
@@ -295,20 +312,23 @@ func (s *Scheduler) replay(jobs []Job, order []int, meas []measured, pool *engin
 		queue = queue[1:]
 	}
 
-	return results, s.summarize(results, meas, servers, queueCap, pool)
+	sum := Summarize(results, servers, queueCap)
+	stats := pool.Stats()
+	sum.Pool = &stats
+	return results, sum
 }
 
-// summarize computes the aggregate service picture from the per-job
-// results; meas supplies the offered payload of dropped jobs, whose
-// discarded measurement never reached a JobRecord.
-func (s *Scheduler) summarize(results []JobResult, meas []measured, servers, queueCap int, pool *engine.Sharded) report.ServiceSummary {
-	stats := pool.Stats()
+// Summarize computes the aggregate service picture from per-job
+// results; a dropped job's OfferedBits supplies the offered payload of
+// its discarded measurement, which never reached a JobRecord. It is
+// exported for the fleet layer, which summarizes each cell's slice of
+// a fleet run with the cell's own service discipline.
+func Summarize(results []JobResult, servers, queueCap int) report.ServiceSummary {
 	sum := report.ServiceSummary{
 		Kind:       "summary",
 		Jobs:       len(results),
 		Servers:    servers,
 		QueueDepth: queueCap,
-		Pool:       &stats,
 	}
 	var firstArrival, lastEvent int64
 	var busy, waitSum, latSum int64
@@ -344,7 +364,7 @@ func (s *Scheduler) summarize(results []JobResult, meas []measured, servers, que
 		case Dropped:
 			sum.Dropped++
 			// A dropped slot's payload was offered but never served.
-			sum.OfferedBits += meas[i].rec.PayloadBits
+			sum.OfferedBits += r.OfferedBits
 		case Failed:
 			sum.Failed++
 		}

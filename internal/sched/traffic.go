@@ -25,23 +25,63 @@ const DefaultUEPopulation = 16
 // payload-seed stream derived from the same trace seed.
 const channelSeedSalt = 0x0ddfadedc0ffee11
 
+// UEPopulation is a block of fleet-wide mobile-UE fading identities a
+// trace cycles through. The zero value is the single-cell default:
+// DefaultUEPopulation identities starting at UE 0, exactly the
+// stamping the generators have always applied. A fleet scales Size to
+// cells × DefaultUEPopulation (one shared arrival process over the
+// whole deployment), while independent per-cell traces use disjoint
+// Offsets so their UE identities — and therefore their fading seeds —
+// never collide fleet-wide.
+type UEPopulation struct {
+	// Size is the number of distinct UE identities in the block
+	// (<= 0 means DefaultUEPopulation).
+	Size int
+	// Offset is the block's first fleet-wide UE index.
+	Offset int
+}
+
+// normalize pins the zero value to the single-cell default.
+func (p UEPopulation) normalize() UEPopulation {
+	if p.Size <= 0 {
+		p.Size = DefaultUEPopulation
+	}
+	return p
+}
+
+// UE returns the fleet-wide UE index of the i-th job in a trace
+// stamped over the block: round-robin inside the block, offset into
+// the fleet-wide identity space.
+func (p UEPopulation) UE(i int) int {
+	p = p.normalize()
+	return p.Offset + i%p.Size
+}
+
+// FadingSeed derives the fading identity of the i-th job of a trace
+// drawn with traceSeed: a pure function of (trace seed, fleet-wide UE
+// index), so the same UE keeps one coherently evolving channel no
+// matter which cell serves it or how its slots interleave with other
+// blocks'.
+func (p UEPopulation) FadingSeed(traceSeed uint64, i int) uint64 {
+	return campaign.DeriveSeed(traceSeed^channelSeedSalt, p.UE(i))
+}
+
 // stampChannel attaches the evolving per-UE link-state coordinates to
 // one generated job: with an active channel spec, an unpinned fading
-// seed is assigned round-robin over the UE population (slots i, i+P,
-// i+2P... belong to one UE and therefore one fading process), and the
-// channel time is the job's arrival instant, so a UE's consecutive
+// seed is assigned round-robin over the UE population block (slots i,
+// i+P, i+2P... belong to one UE and therefore one fading process), and
+// the channel time is the job's arrival instant, so a UE's consecutive
 // slots sample its channel at their true temporal spacing. Jobs that
 // pin their own fading seed or time (replayed traces, hand-built
 // specs) are left untouched, and legacy specs stay legacy — every
 // stamped field is a pure function of (trace seed, index, arrival), so
 // traces remain byte-identical across measurement worker counts.
-func stampChannel(cfg *pusch.ChainConfig, i int, arrival int64, seed uint64) {
+func stampChannel(cfg *pusch.ChainConfig, i int, arrival int64, seed uint64, pop UEPopulation) {
 	if cfg.Channel.Legacy() {
 		return
 	}
 	if cfg.Channel.Seed == 0 {
-		ue := i % DefaultUEPopulation
-		cfg.Channel.Seed = campaign.DeriveSeed(seed^channelSeedSalt, ue)
+		cfg.Channel.Seed = pop.FadingSeed(seed, i)
 	}
 	if cfg.Channel.TimeMs == 0 {
 		cfg.Channel.TimeMs = float64(arrival) / CyclesPerMs
@@ -57,11 +97,19 @@ func stampChannel(cfg *pusch.ChainConfig, i int, arrival int64, seed uint64) {
 // serve mobile UEs; jobs with legacy specs or pinned coordinates are
 // left untouched.
 func StampMobile(jobs []Job, seed uint64) []Job {
+	return StampMobileAs(jobs, seed, UEPopulation{})
+}
+
+// StampMobileAs is StampMobile over an explicit UE population block:
+// the fleet-scale stamping entry point. Traces destined for different
+// cells of one deployment pass blocks with disjoint Offsets so no two
+// cells' UEs share a fading identity.
+func StampMobileAs(jobs []Job, seed uint64, pop UEPopulation) []Job {
 	if seed == 0 {
 		seed = 1
 	}
 	for i := range jobs {
-		stampChannel(&jobs[i].Chain, i, jobs[i].Arrival, seed)
+		stampChannel(&jobs[i].Chain, i, jobs[i].Arrival, seed, pop)
 	}
 	return jobs
 }
@@ -88,11 +136,11 @@ func trafficRNG(seed uint64) (*rand.Rand, uint64) {
 
 // stampJob finalizes one generated job: per-job payload seed (distinct
 // slots carry distinct payload) and an index-stamped name.
-func stampJob(prefix string, i int, arrival int64, seed uint64, cfg pusch.ChainConfig) Job {
+func stampJob(prefix string, i int, arrival int64, seed uint64, pop UEPopulation, cfg pusch.ChainConfig) Job {
 	if cfg.Seed == 0 {
 		cfg.Seed = jobSeed(seed, i)
 	}
-	stampChannel(&cfg, i, arrival, seed)
+	stampChannel(&cfg, i, arrival, seed, pop)
 	return Job{
 		Name:    fmt.Sprintf("%s-%03d", prefix, i),
 		Arrival: arrival,
@@ -105,6 +153,14 @@ func stampJob(prefix string, i int, arrival int64, seed uint64, cfg pusch.ChainC
 // arrivals of a continuously loaded cell). All slots run base; the trace
 // is a pure function of (base, n, ratePerMs, seed).
 func PoissonTrace(base pusch.ChainConfig, n int, ratePerMs float64, seed uint64) []Job {
+	return PoissonTracePop(base, n, ratePerMs, seed, UEPopulation{})
+}
+
+// PoissonTracePop is PoissonTrace over an explicit UE population
+// block: the fleet-scale arrival process, where the identity space
+// grows with the deployment instead of staying pinned to one cell's
+// DefaultUEPopulation.
+func PoissonTracePop(base pusch.ChainConfig, n int, ratePerMs float64, seed uint64, pop UEPopulation) []Job {
 	if n < 0 {
 		n = 0
 	}
@@ -117,7 +173,7 @@ func PoissonTrace(base pusch.ChainConfig, n int, ratePerMs float64, seed uint64)
 	t := 0.0
 	for i := 0; i < n; i++ {
 		t += rng.ExpFloat64() * mean
-		jobs = append(jobs, stampJob("poisson", i, int64(t), seed, base))
+		jobs = append(jobs, stampJob("poisson", i, int64(t), seed, pop, base))
 	}
 	return jobs
 }
@@ -128,6 +184,11 @@ func PoissonTrace(base pusch.ChainConfig, n int, ratePerMs float64, seed uint64)
 // uplink of a cell whose users transmit in episodes rather than
 // continuously.
 func BurstyTrace(base pusch.ChainConfig, n, burst int, ratePerMs, gapMs float64, seed uint64) []Job {
+	return BurstyTracePop(base, n, burst, ratePerMs, gapMs, seed, UEPopulation{})
+}
+
+// BurstyTracePop is BurstyTrace over an explicit UE population block.
+func BurstyTracePop(base pusch.ChainConfig, n, burst int, ratePerMs, gapMs float64, seed uint64, pop UEPopulation) []Job {
 	if n < 0 {
 		n = 0
 	}
@@ -149,7 +210,7 @@ func BurstyTrace(base pusch.ChainConfig, n, burst int, ratePerMs, gapMs float64,
 			t += rng.ExpFloat64() * gapMs * CyclesPerMs
 		}
 		t += rng.ExpFloat64() * mean
-		jobs = append(jobs, stampJob("bursty", i, int64(t), seed, base))
+		jobs = append(jobs, stampJob("bursty", i, int64(t), seed, pop, base))
 	}
 	return jobs
 }
@@ -168,6 +229,11 @@ type MixEntry struct {
 // after its mix entry. Entries with non-positive weight are never drawn;
 // an empty or all-zero mix returns nil.
 func MixedTrace(mix []MixEntry, n int, ratePerMs float64, seed uint64) []Job {
+	return MixedTracePop(mix, n, ratePerMs, seed, UEPopulation{})
+}
+
+// MixedTracePop is MixedTrace over an explicit UE population block.
+func MixedTracePop(mix []MixEntry, n int, ratePerMs float64, seed uint64, pop UEPopulation) []Job {
 	var total float64
 	for _, e := range mix {
 		if e.Weight > 0 {
@@ -201,7 +267,7 @@ func MixedTrace(mix []MixEntry, n int, ratePerMs float64, seed uint64) []Job {
 			}
 			pick -= e.Weight
 		}
-		jobs = append(jobs, stampJob(entry.Name, i, int64(t), seed, entry.Chain))
+		jobs = append(jobs, stampJob(entry.Name, i, int64(t), seed, pop, entry.Chain))
 	}
 	return jobs
 }

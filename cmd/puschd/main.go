@@ -31,6 +31,7 @@
 //	       [-cache] [-cache-cap N] [-cache-file file]
 //	       [-timing analytic] [-calibration file]
 //	       [-cells N] [-cell-config file] [-balance rr|least-queue|sinr]
+//	       [-metrics addr]
 //	       [-servers N] [-queue N] [-workers N] [-seed N]
 //
 // -cells/-cell-config/-balance promote the server to a multi-cell
@@ -70,6 +71,16 @@
 // slots, and served records carry the channel coordinates. The default
 // (no flags) keeps the legacy fresh-iid-draw-per-slot channel.
 //
+// -metrics addr serves live introspection over HTTP (internal/obs): a
+// Prometheus text-exposition /metrics — queue-wait and sojourn
+// histograms, outcome counters, queue-depth distribution over virtual
+// time, cache and machine-pool families, per-cell and handover series
+// in fleet mode — plus the standard net/http/pprof tree. All metric
+// values are functions of simulated state only, so they are identical
+// across runs and -workers counts; the endpoint stays live after the
+// run until SIGINT/SIGTERM. The stderr digest adds served wait/latency
+// p50/p95/p99 lines from the same run. See docs/OBSERVABILITY.md.
+//
 // -layout maps each served slot's chain stages onto core partitions:
 // "sequential" (default) runs the stages back to back on the whole
 // cluster, "pipe" uses the cluster's stock spatially pipelined split,
@@ -92,11 +103,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/engine"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -133,9 +150,16 @@ func main() {
 	balance := flag.String("balance", "", "fleet load-balancing policy: round-robin (default), least-queue, or sinr; implies fleet mode")
 	servers := flag.Int("servers", 1, "virtual slot processors serving the queue in simulated time")
 	queue := flag.Int("queue", sched.DefaultQueueDepth, "bounded wait-queue depth in slots (0 = default, negative = no queue)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics and net/http/pprof on this address (e.g. 127.0.0.1:9109); the endpoint stays live after serving until SIGINT/SIGTERM")
 	workers := flag.Int("workers", 0, "host measurement goroutines (0 = GOMAXPROCS); never affects results")
 	seed := flag.Uint64("seed", 1, "trace and payload base seed")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		startMetrics(*metricsAddr, reg)
+	}
 
 	cluster, err := sched.ParseCluster(*clusterFlag)
 	if err != nil {
@@ -270,6 +294,7 @@ func main() {
 			Seed:    *seed,
 			Cache:   cache,
 			Model:   model,
+			Metrics: reg,
 		}}
 		sum, err := f.WriteJSONL(os.Stdout, trace)
 		if err != nil {
@@ -282,6 +307,12 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"puschd: offered %.3f Gb/s, served %.3f Gb/s; %d handover(s) among %d mobile UE(s); fleet utilization %.1f%%\n",
 			sum.OfferedGbps, sum.ServedGbps, sum.Handovers, sum.MobileUEs, sum.Utilization*100)
+		if sum.Served > 0 {
+			fmt.Fprintf(os.Stderr,
+				"puschd: served wait p50/p95/p99 %d/%d/%d cycles; latency p50/p95/p99 %d/%d/%d cycles\n",
+				sum.WaitP50Cycles, sum.WaitP95Cycles, sum.WaitP99Cycles,
+				sum.LatencyP50Cycles, sum.LatencyP95Cycles, sum.LatencyP99Cycles)
+		}
 		for c, cs := range sum.PerCell {
 			name := cs.Name
 			if name == "" {
@@ -299,6 +330,7 @@ func main() {
 			Seed:       *seed,
 			Cache:      cache,
 			Model:      model,
+			Metrics:    reg,
 		}}
 		sum, err := s.WriteJSONL(os.Stdout, trace)
 		if err != nil {
@@ -311,6 +343,12 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"puschd: offered %.3f Gb/s, served %.3f Gb/s; wait mean %.0f / max %d cycles; utilization %.1f%% of %d server(s)\n",
 			sum.OfferedGbps, sum.ServedGbps, sum.MeanWaitCycles, sum.MaxWaitCycles, sum.Utilization*100, sum.Servers)
+		if sum.Served > 0 {
+			fmt.Fprintf(os.Stderr,
+				"puschd: served wait p50/p95/p99 %d/%d/%d cycles; latency p50/p95/p99 %d/%d/%d cycles\n",
+				sum.WaitP50Cycles, sum.WaitP95Cycles, sum.WaitP99Cycles,
+				sum.LatencyP50Cycles, sum.LatencyP95Cycles, sum.LatencyP99Cycles)
+		}
 	}
 	if cache != nil && *cacheFile != "" {
 		if err := cache.SaveFile(*cacheFile); err != nil {
@@ -332,6 +370,46 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 	}
+
+	// With -metrics the endpoint outlives the run: the registry now
+	// holds the full run's picture, so scrapes and pprof profiles stay
+	// available until the operator interrupts.
+	if *metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "puschd: metrics endpoint stays live; SIGINT/SIGTERM to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+}
+
+// startMetrics exposes the registry and the runtime profiler on addr: a
+// Prometheus text-exposition /metrics plus the standard net/http/pprof
+// tree, on a private mux so nothing else leaks onto the listener. The
+// server runs for the life of the process; main blocks on a signal
+// after the run when -metrics is set.
+func startMetrics(addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			log.Printf("metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "puschd: serving /metrics and /debug/pprof/ on http://%s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+	}()
 }
 
 // buildTrace assembles the offered trace from the stream or the

@@ -21,6 +21,7 @@
 //	puschsim [-cluster terapool|mempool] [-chol-batch 4|16] [-serial] [-full-mimo] [-json]
 //	puschsim -chain [-snr dB] [-channel tdl-b] [-doppler 30] [-layout pipe]
 //	puschsim -chain -timing analytic            # predicted cycle budget, no engine run
+//	puschsim -chain -trace-profile slot.json    # Chrome trace of the slot's virtual-time spans
 //	puschsim -campaign snr      [-snr-min 8] [-snr-max 26] [-snr-step 2] [-scheme qpsk]
 //	                            [-workers N] [-seed N] [-timing analytic]
 //	puschsim -campaign schemes  # modulation x UE-count grid
@@ -53,9 +54,14 @@
 // -calibration, default testdata/calibration.json) — cycles are
 // predictions within the committed error budget, records are stamped
 // "analytic", and BER/EVM stay zero since no payload is processed
-// (docs/TIMING.md specifies the model and when to pick each path). To
-// serve slot traffic as a stream rather than run one experiment, see
-// cmd/puschd.
+// (docs/TIMING.md specifies the model and when to pick each path);
+// -trace-profile saves the run's virtual-time spans — host stages,
+// chain kernels per core partition, barrier waits — as Chrome
+// trace-event JSON (open in Perfetto or chrome://tracing; one process
+// per slot, one track per partition, 1 trace microsecond = 1 simulated
+// cycle; see docs/OBSERVABILITY.md). Profiles are byte-identical
+// across runs and -workers counts. To serve slot traffic as a stream
+// rather than run one experiment, see cmd/puschd.
 package main
 
 import (
@@ -97,6 +103,7 @@ func main() {
 	cacheFile := flag.String("cache-file", "", "warm-start the service-time cache from this JSONL file and save it back after the campaign (implies -cache)")
 	timingFlag := flag.String("timing", "", "timing path for chain and campaign modes: cycle-accurate (default) or analytic (calibrated closed-form model, no engine run)")
 	calibration := flag.String("calibration", pusch.DefaultCalibrationPath, "calibration artifact for -timing analytic")
+	traceProfile := flag.String("trace-profile", "", "write a Chrome trace-event JSON profile of the run's virtual-time spans to this file (chain and campaign modes; open in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	var cluster *sim.Config
@@ -143,7 +150,7 @@ func main() {
 				}
 			}
 		}
-		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, layout, timing, model, *snrMin, *snrMax, *snrStep, *workers, *seed, cache)
+		runCampaign(cluster, *campaignFlag, *schemeFlag, chSpec, layout, timing, model, *snrMin, *snrMax, *snrStep, *workers, *seed, cache, *traceProfile)
 		if cache != nil {
 			st := cache.Stats()
 			fmt.Fprintf(os.Stderr, "puschsim: cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
@@ -158,12 +165,15 @@ func main() {
 	}
 
 	if *chain {
-		runChain(cluster, *snr, chSpec, layout, timing, model)
+		runChain(cluster, *snr, chSpec, layout, timing, model, *traceProfile)
 		return
 	}
 
 	if timing == pusch.TimingAnalytic {
 		log.Fatal("-timing analytic covers the functional chain and chain campaigns only; the Fig. 9c use case always runs cycle-accurately")
+	}
+	if *traceProfile != "" {
+		log.Fatal("-trace-profile covers the functional chain and campaigns only; the Fig. 9c use case records no spans")
 	}
 
 	cfg := pusch.DefaultUseCase()
@@ -243,7 +253,7 @@ func campaignBase(cluster *sim.Config, scheme waveform.Scheme, chSpec pusch.Chan
 	}
 }
 
-func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, layout pusch.Layout, timing pusch.TimingMode, model *pusch.TimingModel, snrMin, snrMax, snrStep float64, workers int, seed uint64, cache *pusch.ServiceCache) {
+func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.ChannelSpec, layout pusch.Layout, timing pusch.TimingMode, model *pusch.TimingModel, snrMin, snrMax, snrStep float64, workers int, seed uint64, cache *pusch.ServiceCache, traceProfile string) {
 	var scheme waveform.Scheme
 	switch strings.ToLower(schemeName) {
 	case "qpsk":
@@ -258,6 +268,9 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 	base := campaignBase(cluster, scheme, chSpec, layout)
 	base.Timing = timing
 	if mode == "fleet" {
+		if traceProfile != "" {
+			log.Fatal("-trace-profile does not cover the fleet campaign (serve through puschd for service metrics instead)")
+		}
 		runFleetCampaign(base, workers, seed, cache, model)
 		return
 	}
@@ -312,9 +325,35 @@ func runCampaign(cluster *sim.Config, mode, schemeName string, chSpec pusch.Chan
 		log.Fatalf("campaign %q is empty (check -snr-min/-snr-max/-snr-step)", mode)
 	}
 	runner := &pusch.Runner{Workers: workers, Seed: seed, Cache: cache, Model: model}
+	if traceProfile != "" {
+		// Cached, analytic and use-case scenarios contribute no spans;
+		// every engine-run chain scenario gets one trace slot. The
+		// profile bytes are identical across runs and -workers counts.
+		runner.Profile = pusch.NewTraceProfile()
+	}
 	if err := pusch.WriteCampaignJSONL(os.Stdout, runner, scenarios); err != nil {
 		log.Fatal(err)
 	}
+	if runner.Profile != nil {
+		writeProfile(traceProfile, runner.Profile)
+	}
+}
+
+// writeProfile saves the collected spans as one Chrome trace-event JSON
+// document, viewable in Perfetto or chrome://tracing.
+func writeProfile(path string, prof *pusch.TraceProfile) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.WriteChrome(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "puschsim: trace profile: %d spans -> %s\n", prof.SpanCount(), path)
 }
 
 // runFleetCampaign sweeps fleet size x balancing policy over one
@@ -349,7 +388,7 @@ func runFleetCampaign(base pusch.ChainConfig, workers int, seed uint64, cache *p
 	}
 }
 
-func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout pusch.Layout, timing pusch.TimingMode, model *pusch.TimingModel) {
+func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout pusch.Layout, timing pusch.TimingMode, model *pusch.TimingModel, traceProfile string) {
 	cfg := pusch.ChainConfig{
 		Cluster: cluster,
 		NSC:     256, NR: 16, NB: 8, NL: 4,
@@ -361,6 +400,9 @@ func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout
 		Layout:  layout,
 	}
 	if timing == pusch.TimingAnalytic {
+		if traceProfile != "" {
+			log.Fatal("-trace-profile needs an engine run; -timing analytic predicts cycles without one")
+		}
 		// The analytic path predicts timing only: no payload runs, so
 		// there is no BER/EVM to report — just the predicted cycle budget.
 		rec, err := model.Predict(cfg)
@@ -374,7 +416,18 @@ func runChain(cluster *sim.Config, snr float64, chSpec pusch.ChannelSpec, layout
 		}
 		return
 	}
-	res, err := pusch.RunChain(cfg)
+	var res *pusch.ChainResult
+	var err error
+	if traceProfile != "" {
+		prof := pusch.NewTraceProfile()
+		res, err = pusch.RunChainTraced(cfg, prof.Slot(0, "chain"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeProfile(traceProfile, prof)
+	} else {
+		res, err = pusch.RunChain(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

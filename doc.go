@@ -50,6 +50,16 @@
 //     byte-identical to the plain scheduler; multi-cell streams
 //     byte-identical across worker counts and under the cache).
 //
+// Observability is deterministic too (internal/obs, re-exported via
+// pusch): a virtual-time span tracer exports every stage window,
+// barrier wait and handshake as Chrome trace-event JSON (puschsim
+// -trace-profile), and a metrics registry exposes wait/sojourn
+// histograms, queue depth over virtual time, outcome counters and
+// cache/pool traffic in Prometheus text format with live pprof
+// introspection (puschd -metrics). Both are off by default, free when
+// off, and byte-identical across runs and worker counts when on;
+// docs/OBSERVABILITY.md has the span model and metric catalogue.
+//
 // Slot timing is data-independent — a pure function of the scenario
 // coordinate — which the repo exploits through three timing paths: the
 // cycle-accurate engine (the default: every cycle measured), the

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/timecache"
@@ -100,20 +101,22 @@ func (s *Scenario) validate() error {
 // the fallback when a chain scenario does not pin its own. A non-nil
 // cache memoizes chain service times by scenario coordinate; a
 // non-nil model resolves analytic-timing chain scenarios without
-// touching the pool at all.
-func (s *Scenario) run(pool *engine.Machines, seed uint64, cache *timecache.Cache, model *timing.Model) Result {
+// touching the pool at all. A non-nil tr collects the scenario's
+// virtual-time spans when the engine actually runs (cache hits,
+// analytic slots and use cases leave it empty).
+func (s *Scenario) run(pool *engine.Machines, seed uint64, cache *timecache.Cache, model *timing.Model, tr *obs.Trace) Result {
 	res := Result{Scenario: s.Name}
 	if err := s.validate(); err != nil {
 		res.Error = err.Error()
 		return res
 	}
 	if s.Chain != nil {
-		return s.runChain(pool, seed, cache, model)
+		return s.runChain(pool, seed, cache, model, tr)
 	}
 	return s.runUseCase(pool)
 }
 
-func (s *Scenario) runChain(pool *engine.Machines, seed uint64, cache *timecache.Cache, model *timing.Model) Result {
+func (s *Scenario) runChain(pool *engine.Machines, seed uint64, cache *timecache.Cache, model *timing.Model, tr *obs.Trace) Result {
 	cfg := *s.Chain
 	if cfg.Cluster == nil {
 		cfg.Cluster = arch.MemPool()
@@ -177,7 +180,7 @@ func (s *Scenario) runChain(pool *engine.Machines, seed uint64, cache *timecache
 		}
 	}
 	m := pool.Get(cfg.Cluster)
-	cr, err := pusch.RunChainOn(m, cfg)
+	cr, err := pusch.RunChainTracedOn(m, cfg, tr)
 	pool.Put(m)
 	if err != nil {
 		res.Error = err.Error()

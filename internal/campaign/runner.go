@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/timecache"
 	"repro/internal/timing"
 )
@@ -39,6 +40,13 @@ type Runner struct {
 	// without a loaded model fail per scenario. Cycle-accurate
 	// scenarios never consult it.
 	Model *timing.Model
+	// Profile, when non-nil, collects one virtual-time span trace per
+	// engine-run chain scenario, keyed by scenario index (see
+	// obs.Profile). Spans carry simulated cycles only, so the profile is
+	// byte-identical across Workers counts. Cache hits, analytic
+	// scenarios and use-case scenarios run no engine and contribute no
+	// spans.
+	Profile *obs.Profile
 }
 
 // DeriveSeed derives a per-item seed from a base seed and the item's
@@ -54,6 +62,15 @@ func DeriveSeed(base uint64, index int) uint64 {
 	z ^= z >> 27
 	z *= 0x94d049bb133111eb
 	return z ^ z>>31
+}
+
+// trace claims the profile slot for scenario i, or nil when no profile
+// is attached.
+func (r *Runner) trace(i int, scenarios []Scenario) *obs.Trace {
+	if r.Profile == nil {
+		return nil
+	}
+	return r.Profile.Slot(i, scenarios[i].Name)
 }
 
 // Run executes every scenario and returns the results in scenario order.
@@ -75,7 +92,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	if workers <= 1 {
 		pool := engine.NewMachines()
 		for i := range scenarios {
-			results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache, r.Model)
+			results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache, r.Model, r.trace(i, scenarios))
 		}
 		return results
 	}
@@ -87,7 +104,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 			defer wg.Done()
 			pool := engine.NewMachines()
 			for i := range idx {
-				results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache, r.Model)
+				results[i] = scenarios[i].run(pool, DeriveSeed(base, i), r.Cache, r.Model, r.trace(i, scenarios))
 			}
 		}()
 	}

@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCampaignProfileDeterministicAcrossWorkers: the Chrome trace
+// profile of a campaign is a pure function of the scenarios — the
+// exported bytes are identical across runs and worker counts, because
+// spans are in virtual time and slots are keyed by scenario index, not
+// by completion order.
+func TestCampaignProfileDeterministicAcrossWorkers(t *testing.T) {
+	scens := SNRSweep(testBase(), 8, 18, 2)
+	if len(scens) < 6 {
+		t.Fatalf("sweep too small: %d", len(scens))
+	}
+	profile := func(workers int) []byte {
+		prof := obs.NewProfile()
+		r := &Runner{Workers: workers, Profile: prof}
+		if err := r.WriteJSONL(&bytes.Buffer{}, scens); err != nil {
+			t.Fatal(err)
+		}
+		if prof.SpanCount() == 0 {
+			t.Fatal("campaign recorded no spans")
+		}
+		var buf bytes.Buffer
+		if err := prof.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := profile(1)
+	for _, workers := range []int{3, 8} {
+		if got := profile(workers); !bytes.Equal(got, serial) {
+			t.Errorf("profile bytes at %d workers diverge from serial", workers)
+		}
+	}
+}
+
+// TestCampaignProfileNamesSlots: each traced scenario's trace carries
+// the scenario name, so the Chrome export labels processes usefully.
+func TestCampaignProfileNamesSlots(t *testing.T) {
+	scens := SNRSweep(testBase(), 8, 10, 2)
+	prof := obs.NewProfile()
+	r := &Runner{Workers: 1, Profile: prof}
+	if err := r.WriteJSONL(&bytes.Buffer{}, scens); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scens {
+		tr := prof.Slot(i, "")
+		if tr.Name != s.Name {
+			t.Errorf("slot %d named %q, want %q", i, tr.Name, s.Name)
+		}
+		if len(tr.Spans) == 0 {
+			t.Errorf("slot %d (%s) has no spans", i, s.Name)
+		}
+	}
+}

@@ -376,6 +376,14 @@ func (m *Machine) Run(jobs ...Job) error {
 			for _, core := range cores {
 				if m.coreTime[core] < job.NotBefore {
 					m.coreStats[core].WfiStalls += job.NotBefore - m.coreTime[core]
+					if m.Tracer != nil {
+						// The producer→consumer handshake wait, as a phase
+						// with no work: Arrive == Start, release at NotBefore.
+						m.Tracer.record(TraceEvent{
+							Job: job.Name, Phase: "handshake", Core: core,
+							Start: m.coreTime[core], Arrive: m.coreTime[core], Release: job.NotBefore,
+						})
+					}
 					m.coreTime[core] = job.NotBefore
 				}
 			}
@@ -460,7 +468,8 @@ func (m *Machine) Run(jobs ...Job) error {
 				m.coreTime[core] = p.now
 			}
 			if len(cores) > 1 {
-				release := last + m.climbCost(cores) + m.wakeCost(cores)
+				climb, wake := m.climbCost(cores), m.wakeCost(cores)
+				release := last + climb + wake
 				for li, core := range cores {
 					m.coreStats[core].WfiStalls += release - arrivals[li]
 					m.coreTime[core] = release
@@ -471,6 +480,7 @@ func (m *Machine) Run(jobs ...Job) error {
 					m.Tracer.record(TraceEvent{
 						Job: job.Name, Phase: ph.Name, Core: core,
 						Start: starts[li], Arrive: arrivals[li], Release: release,
+						Climb: climb, Wake: wake,
 					})
 				}
 			} else {
@@ -515,10 +525,20 @@ func (m *Machine) Barrier(cores []int) {
 			last = arrive[i]
 		}
 	}
-	release := last + m.climbCost(cores) + m.wakeCost(cores)
+	climb, wake := m.climbCost(cores), m.wakeCost(cores)
+	release := last + climb + wake
 	for i, c := range cores {
 		m.coreStats[c].WfiStalls += release - arrive[i]
 		m.coreTime[c] = release
+	}
+	if m.Tracer != nil {
+		for i, c := range cores {
+			m.Tracer.record(TraceEvent{
+				Job: "barrier", Phase: "sync", Core: c,
+				Start: arrive[i] - 3, Arrive: arrive[i], Release: release,
+				Climb: climb, Wake: wake,
+			})
+		}
 	}
 	m.TrimReservations()
 }

@@ -56,6 +56,29 @@ func (m *Machine) ReportSince(mark Mark, name string, cores []int) Report {
 	return Report{Name: name, Cores: len(cores), Wall: end - start, Stats: s}
 }
 
+// WindowSince returns the absolute window of one measured section over
+// the given cores (nil means every core): the earliest marked core time
+// and the latest current core time. ReportSince reports the same window
+// as a width; span tracing needs the endpoints.
+func (m *Machine) WindowSince(mark Mark, cores []int) (start, end int64) {
+	if cores == nil {
+		cores = m.allCores
+	}
+	start = int64(1)<<62 - 1
+	for _, c := range cores {
+		if mark.time[c] < start {
+			start = mark.time[c]
+		}
+		if m.coreTime[c] > end {
+			end = m.coreTime[c]
+		}
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
 // IPC returns instructions per cycle per participating core, the metric
 // of Fig. 8.
 func (r Report) IPC() float64 {

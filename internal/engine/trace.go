@@ -17,6 +17,8 @@ type TraceEvent struct {
 	Start   int64 // work begins (after any instruction-cache refill)
 	Arrive  int64 // work done, barrier entered
 	Release int64 // barrier released
+	Climb   int64 // hierarchical barrier-climb cost inside the release
+	Wake    int64 // wake-up trigger cost inside the release
 }
 
 // Tracer collects TraceEvents when attached to a Machine. A nil tracer

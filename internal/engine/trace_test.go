@@ -141,3 +141,122 @@ func TestRotatePriorityPreservesResults(t *testing.T) {
 		}
 	}
 }
+
+// TestTracerRecordsBarrierEvents: an explicit Barrier on a traced
+// machine records one "barrier/sync" event per participating core, with
+// a shared release and the climb/wake cost breakdown.
+func TestTracerRecordsBarrierEvents(t *testing.T) {
+	m := NewMachine(arch.MemPool())
+	m.Tracer = &Tracer{}
+	cores := []int{0, 1, 2, 3}
+	err := m.Run(Job{Name: "j", Cores: cores, Phases: []Phase{
+		{Name: "p", Work: func(p *Proc) { p.Tick(10 + 5*p.Lane) }},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(m.Tracer.Events)
+	m.Barrier(cores)
+	evs := m.Tracer.Events[before:]
+	if len(evs) != len(cores) {
+		t.Fatalf("barrier recorded %d events, want %d", len(evs), len(cores))
+	}
+	release := evs[0].Release
+	for i, ev := range evs {
+		if ev.Job != "barrier" || ev.Phase != "sync" {
+			t.Fatalf("event %d = %s/%s", i, ev.Job, ev.Phase)
+		}
+		if ev.Core != cores[i] {
+			t.Fatalf("event %d core = %d, want %d (ascending order)", i, ev.Core, cores[i])
+		}
+		if ev.Release != release {
+			t.Fatalf("core %d released at %d, others at %d", ev.Core, ev.Release, release)
+		}
+		if ev.Arrive > ev.Release {
+			t.Fatalf("core %d arrives after release: %+v", ev.Core, ev)
+		}
+		if ev.Climb <= 0 || ev.Wake <= 0 {
+			t.Fatalf("core %d missing climb/wake breakdown: %+v", ev.Core, ev)
+		}
+		if ev.Release != m.CoreTime(ev.Core) {
+			t.Fatalf("core %d time %d != release %d", ev.Core, m.CoreTime(ev.Core), ev.Release)
+		}
+	}
+}
+
+// TestTracerRecordsHandshake: a NotBefore hold on a traced machine
+// records one "handshake" event per core that actually stalled.
+func TestTracerRecordsHandshake(t *testing.T) {
+	m := NewMachine(arch.MemPool())
+	m.Tracer = &Tracer{}
+	job := Job{Name: "j", Cores: []int{0, 1}, NotBefore: 500, Phases: []Phase{
+		{Name: "p", Work: func(p *Proc) { p.Tick(1) }},
+	}}
+	if err := m.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	var hs []TraceEvent
+	for _, ev := range m.Tracer.Events {
+		if ev.Phase == "handshake" {
+			hs = append(hs, ev)
+		}
+	}
+	if len(hs) != 2 {
+		t.Fatalf("recorded %d handshake events, want 2", len(hs))
+	}
+	for _, ev := range hs {
+		if ev.Release != 500 || ev.Start != ev.Arrive {
+			t.Fatalf("handshake %+v, want release 500 and Start == Arrive", ev)
+		}
+	}
+	// Cores already past the hold stall zero cycles and record nothing.
+	m2 := NewMachine(arch.MemPool())
+	m2.Tracer = &Tracer{}
+	job.NotBefore = 0
+	if err := m2.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range m2.Tracer.Events {
+		if ev.Phase == "handshake" {
+			t.Fatalf("unheld job recorded handshake %+v", ev)
+		}
+	}
+}
+
+// TestTracerPhaseEventsCarryCosts: multi-core phase releases expose the
+// climb/wake split so span exporters can attribute release overhead.
+func TestTracerPhaseEventsCarryCosts(t *testing.T) {
+	m := tracedRun(t, false)
+	for _, ev := range m.Tracer.Events {
+		if ev.Climb <= 0 || ev.Wake <= 0 {
+			t.Fatalf("phase event missing costs: %+v", ev)
+		}
+		if ev.Release-ev.Arrive < ev.Climb+ev.Wake {
+			t.Fatalf("release interval smaller than its cost parts: %+v", ev)
+		}
+	}
+}
+
+// TestUntracedRunAllocsNothing pins the nil-tracer contract: the
+// recording hooks must stay behind nil guards so an untraced Run costs
+// zero allocations in steady state.
+func TestUntracedRunAllocsNothing(t *testing.T) {
+	m := NewMachine(arch.MemPool())
+	cores := []int{0, 1, 2, 3}
+	job := Job{Name: "j", Cores: cores, NotBefore: 1, Phases: []Phase{
+		{Name: "p", Kernel: "t/k", Work: func(p *Proc) { p.Tick(8) }},
+	}}
+	if err := m.Run(job); err != nil { // warm scratch buffers and icache sets
+		t.Fatal(err)
+	}
+	m.ClusterBarrier()
+	avg := testing.AllocsPerRun(50, func() {
+		if err := m.Run(job); err != nil {
+			t.Fatal(err)
+		}
+		m.ClusterBarrier()
+	})
+	if avg != 0 {
+		t.Fatalf("untraced Run allocates %.1f objects/op, want 0", avg)
+	}
+}

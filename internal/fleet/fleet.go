@@ -5,12 +5,14 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/campaign"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -94,6 +96,11 @@ type Config struct {
 	// cell's measurements (see sched.Config).
 	Cache *timecache.Cache
 	Model *timing.Model
+	// Metrics, when non-nil, receives the fleet's deterministic metric
+	// families: the sched families labeled per cell (cell="0", …), the
+	// per-cell handover counters, and the shared cache/pool families.
+	// Nil records nothing (see sched.Config.Metrics).
+	Metrics *obs.Registry
 }
 
 // Fleet serves slot-traffic traces across the configured cells. The
@@ -137,7 +144,11 @@ func (f *Fleet) Serve(jobs []sched.Job) ([]sched.JobResult, report.FleetSummary)
 	}
 	order := arrivalOrder(jobs)
 	meas, classOf, pool := f.measureAll(cells, jobs, order)
-	results, handovers := f.replay(cells, jobs, order, meas, classOf)
+	results, handoversTo := f.replay(cells, jobs, order, meas, classOf)
+	handovers := 0
+	for _, h := range handoversTo {
+		handovers += h
+	}
 	sum := f.summarize(cells, jobs, results, handovers)
 
 	stats := pool.Stats()
@@ -155,6 +166,9 @@ func (f *Fleet) Serve(jobs []sched.Job) ([]sched.JobResult, report.FleetSummary)
 		}
 	}
 	sum.Host = &host
+	if reg := f.Cfg.Metrics; reg != nil {
+		f.recordMetrics(reg, results, &sum, handoversTo, &host)
+	}
 	return results, sum
 }
 
@@ -299,7 +313,8 @@ func (f *Fleet) measureAll(cells []Cell, jobs []sched.Job, order []int) ([][]mea
 // earliest free server (lowest index on ties), FIFO bounded queue,
 // drop on overflow. Routing reads only replay state and the job itself,
 // so results are independent of measurement order and worker count.
-func (f *Fleet) replay(cells []Cell, jobs []sched.Job, order []int, meas [][]measured, classOf []int) ([]sched.JobResult, int) {
+// The second return value counts handovers by destination cell.
+func (f *Fleet) replay(cells []Cell, jobs []sched.Job, order []int, meas [][]measured, classOf []int) ([]sched.JobResult, []int) {
 	n := len(cells)
 	states := make([]cellState, n)
 	queueCap := make([]int, n)
@@ -324,6 +339,18 @@ func (f *Fleet) replay(cells []Cell, jobs []sched.Job, order []int, meas [][]mea
 		base = 1
 	}
 	results := make([]sched.JobResult, len(jobs))
+
+	// Per-cell queue depth sampled at each routed arrival (nil registry:
+	// no handles, no observations).
+	var depthH []*obs.Histogram
+	if reg := f.Cfg.Metrics; reg != nil {
+		depthH = make([]*obs.Histogram, n)
+		for c := range depthH {
+			depthH[c] = reg.Histogram(sched.MetricQueueDepth,
+				"wait-queue depth sampled at each admission decision, over virtual time",
+				obs.DepthBuckets, "cell", strconv.Itoa(c))
+		}
+	}
 
 	// earliest returns cell c's first-free server (lowest index ties).
 	earliest := func(c int) (srv int, at int64) {
@@ -419,7 +446,7 @@ func (f *Fleet) replay(cells []Cell, jobs []sched.Job, order []int, meas [][]mea
 		}
 	}
 
-	handovers := 0
+	handoversTo := make([]int, n)
 	lastCell := make(map[uint64]int)
 	for pos, ji := range order {
 		job := &jobs[ji]
@@ -448,13 +475,16 @@ func (f *Fleet) replay(cells []Cell, jobs []sched.Job, order []int, meas [][]mea
 		} else {
 			r.Outcome = sched.Dropped
 		}
+		if depthH != nil {
+			depthH[cell].Observe(int64(len(states[cell].queue)))
+		}
 		// A mobile UE hands over when an admitted slot lands on a
 		// different cell than its previous one (dropped slots never
 		// occupied the cell, so they don't move the UE).
 		if r.Outcome != sched.Dropped {
 			if seed := job.Chain.Channel.Seed; seed != 0 {
 				if prev, ok := lastCell[seed]; ok && prev != cell {
-					handovers++
+					handoversTo[cell]++
 				}
 				lastCell[seed] = cell
 			}
@@ -467,7 +497,7 @@ func (f *Fleet) replay(cells []Cell, jobs []sched.Job, order []int, meas [][]mea
 			states[c].queue = states[c].queue[1:]
 		}
 	}
-	return results, handovers
+	return results, handoversTo
 }
 
 // summarize aggregates the replayed fleet: one ServiceSummary per cell
@@ -503,6 +533,7 @@ func (f *Fleet) summarize(cells []Cell, jobs []sched.Job, results []sched.JobRes
 	var busy int64
 	analytic := 0
 	var firstArrival, lastEvent int64
+	var waits, lats []int64
 	for i := range results {
 		r := &results[i]
 		if i == 0 || r.Arrival < firstArrival {
@@ -519,7 +550,19 @@ func (f *Fleet) summarize(cells []Cell, jobs []sched.Job, results []sched.JobRes
 			if r.Record.FinishCycle > lastEvent {
 				lastEvent = r.Record.FinishCycle
 			}
+			waits = append(waits, r.Record.WaitCycles)
+			lats = append(lats, r.Record.LatencyCycles)
 		}
+	}
+	if len(waits) > 0 {
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		sum.WaitP50Cycles = obs.PercentileInt64(waits, 50)
+		sum.WaitP95Cycles = obs.PercentileInt64(waits, 95)
+		sum.WaitP99Cycles = obs.PercentileInt64(waits, 99)
+		sum.LatencyP50Cycles = obs.PercentileInt64(lats, 50)
+		sum.LatencyP95Cycles = obs.PercentileInt64(lats, 95)
+		sum.LatencyP99Cycles = obs.PercentileInt64(lats, 99)
 	}
 
 	sum.PerCell = make([]report.ServiceSummary, n)

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// TestFleetRecordsPerCellMetrics: a 2-cell fleet must expose the sched
+// service families labeled per cell, the per-destination handover
+// counters (present even at zero), and the fleet-shape gauges.
+func TestFleetRecordsPerCellMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := stubFleet(Config{
+		Cells:   Homogeneous(2, Cell{}),
+		Workers: 1,
+		Metrics: reg,
+	})
+	jobs := []sched.Job{
+		stubJob("a", 0, 100),
+		stubJob("b", 10, 100),
+		stubJob("c", 20, 100),
+		stubJob("d", 30, 100),
+	}
+	_, sum := f.Serve(jobs)
+	if sum.Served != 4 {
+		t.Fatalf("served %d, want 4", sum.Served)
+	}
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		// Round-robin over 2 cells: 2 jobs each.
+		`pusch_sched_jobs_total{cell="0",outcome="served"} 2`,
+		`pusch_sched_jobs_total{cell="1",outcome="served"} 2`,
+		`pusch_sched_wait_cycles_count{cell="0"} 2`,
+		`pusch_sched_queue_depth_count{cell="0"} 2`,
+		`pusch_fleet_handovers_total{cell="0"} 0`,
+		`pusch_fleet_handovers_total{cell="1"} 0`,
+		"pusch_fleet_cells 2",
+		"# TYPE pusch_fleet_mobile_ues gauge",
+		"# TYPE pusch_pool_machines_built_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetHandoverCountersFollowSummary: under the SINR-aware policy a
+// mobile UE's handovers must land in the per-destination counters and
+// agree with the fleet summary's total.
+func TestFleetHandoverCountersFollowSummary(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := stubFleet(Config{
+		Cells:   Homogeneous(3, Cell{}),
+		Policy:  SINRAware,
+		Workers: 1,
+		Metrics: reg,
+	})
+	// Mobile UEs sending a slot every 10 ms for 2 s: the horizon spans
+	// several gain periods, so the SINR router must move them around
+	// (same shape as TestHandoverDeterminism).
+	var jobs []sched.Job
+	for i := 0; i < 200; i++ {
+		arrival := int64(i) * 10 * sched.CyclesPerMs
+		jobs = append(jobs, stubUEJob("u", arrival, 100, uint64(1+i%4)))
+	}
+	_, sum := f.Serve(jobs)
+	if sum.Handovers == 0 {
+		t.Fatal("trace produced no handovers; counter equality untestable")
+	}
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, MetricHandovers+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.Atoi(fields[len(fields)-1])
+		if err != nil {
+			t.Fatalf("unparseable handover line %q: %v", line, err)
+		}
+		total += n
+	}
+	if total != sum.Handovers {
+		t.Errorf("handover counters sum to %d, summary says %d", total, sum.Handovers)
+	}
+}

@@ -1,0 +1,20 @@
+// Package obs is the deterministic observability layer: virtual-time
+// span traces of simulated slot executions and a metrics registry with
+// Prometheus text exposition.
+//
+// Everything recorded is a function of simulated state only — span
+// timestamps are engine cycles, metric values are counts and cycle
+// quantities from the virtual-time replay — never the host wall clock.
+// A trace or a metrics snapshot is therefore byte-identical across
+// repeated runs and across `-workers` counts, the same contract the
+// JSONL record streams already keep.
+//
+// The layer is nil-sink off by default: a nil *Trace, *Profile or
+// *Registry (and the nil instrument handles a nil registry hands out)
+// accept every call as a no-op, so instrumented code paths need no
+// conditionals and the engine hot path stays allocation-free when
+// tracing is disabled.
+//
+// See docs/OBSERVABILITY.md for the span model, the metric name
+// catalogue and the exposition endpoints.
+package obs

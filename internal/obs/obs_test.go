@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_jobs_total", "jobs by outcome", "outcome", "served").Add(8)
+	r.Counter("demo_jobs_total", "jobs by outcome", "outcome", "dropped").Add(2)
+	r.Gauge("demo_util", "utilization").Set(0.25)
+	h := r.Histogram("demo_wait_cycles", "wait cycles", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(1000)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP demo_jobs_total jobs by outcome\n# TYPE demo_jobs_total counter\n",
+		`demo_jobs_total{outcome="dropped"} 2`,
+		`demo_jobs_total{outcome="served"} 8`,
+		"# TYPE demo_util gauge\ndemo_util 0.25\n",
+		"# TYPE demo_wait_cycles histogram\n",
+		`demo_wait_cycles_bucket{le="10"} 1`,
+		`demo_wait_cycles_bucket{le="100"} 3`, // cumulative: 1 + 2
+		`demo_wait_cycles_bucket{le="+Inf"} 4`,
+		"demo_wait_cycles_sum 1105",
+		"demo_wait_cycles_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families sorted by name: jobs_total before util before wait_cycles.
+	if !(strings.Index(out, "demo_jobs_total") < strings.Index(out, "demo_util") &&
+		strings.Index(out, "demo_util") < strings.Index(out, "demo_wait_cycles")) {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+// TestRegistryDeterministicExposition: identical recording sequences
+// must produce byte-identical expositions, independent of map iteration
+// order.
+func TestRegistryDeterministicExposition(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		for _, cell := range []string{"2", "0", "1"} {
+			r.Counter("d_handovers_total", "h", "cell", cell).Add(3)
+			r.Histogram("d_wait", "w", DepthBuckets, "cell", cell).Observe(7)
+		}
+		r.Gauge("d_cells", "c").SetInt(3)
+		var sb strings.Builder
+		if err := r.WriteProm(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := build()
+	for i := 0; i < 10; i++ {
+		if b := build(); b != a {
+			t.Fatalf("exposition differs between identical builds:\n%s\n---\n%s", a, b)
+		}
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "h").Add(1)
+	r.Counter("x", "h").Inc()
+	r.Gauge("y", "h").Set(1)
+	r.Gauge("y", "h").SetInt(2)
+	r.Histogram("z", "h", DepthBuckets).Observe(3)
+	if err := r.WriteProm(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	var g *Gauge
+	g.Set(1)
+	var h *Histogram
+	h.Observe(1)
+}
+
+func TestRegistryCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("neg_total", "h")
+	c.Add(5)
+	c.Add(-3)
+	c.Add(0)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "neg_total 5\n") {
+		t.Errorf("counter moved on non-positive delta:\n%s", sb.String())
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("clash", "h")
+}
+
+func TestPercentileInt64(t *testing.T) {
+	cases := []struct {
+		sorted []int64
+		q      float64
+		want   int64
+	}{
+		{nil, 50, 0},
+		{[]int64{7}, 50, 7},
+		{[]int64{7}, 99, 7},
+		{[]int64{1, 2, 3, 4}, 50, 2},  // rank ceil(0.5*4)=2
+		{[]int64{1, 2, 3, 4}, 75, 3},  // exact boundary: rank 3
+		{[]int64{1, 2, 3, 4}, 76, 4},  // just past: rank 4
+		{[]int64{1, 2, 3, 4}, 100, 4}, // max
+		{[]int64{1, 2, 3, 4}, 0.1, 1}, // clamps to first
+		{[]int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 95, 100},
+		{[]int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 50, 50},
+	}
+	for _, c := range cases {
+		if got := PercentileInt64(c.sorted, c.q); got != c.want {
+			t.Errorf("PercentileInt64(%v, %g) = %d, want %d", c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add("t", "n", 0, 1)
+	tr.AddSpan(Span{})
+	var p *Profile
+	if got := p.Slot(0, "x"); got != nil {
+		t.Fatalf("nil profile handed out %v", got)
+	}
+	if got := p.SpanCount(); got != 0 {
+		t.Fatalf("nil profile counts %d spans", got)
+	}
+	if err := p.WriteChrome(&strings.Builder{}); err == nil {
+		t.Fatal("WriteChrome on nil profile did not error")
+	}
+}
+
+func TestCoreTrack(t *testing.T) {
+	if got := CoreTrack(3, 3); got != "core 3" {
+		t.Errorf("CoreTrack(3,3) = %q", got)
+	}
+	if got := CoreTrack(0, 255); got != "cores 0-255" {
+		t.Errorf("CoreTrack(0,255) = %q", got)
+	}
+}
+
+// TestWriteChromeShape validates the exported JSON against the Chrome
+// trace-event contract the viewer depends on: process/thread metadata
+// first-seen ordering, "X" events with microsecond timestamps equal to
+// the recorded cycles, and the wait breakdown in args only when nonzero.
+func TestWriteChromeShape(t *testing.T) {
+	p := NewProfile()
+	tr := p.Slot(2, "snr 20 dB")
+	tr.Add("host", "tx", 0, 0)
+	tr.AddSpan(Span{Track: "cores 0-15", Name: "fft s0", Start: 10, End: 74, Wait: 5})
+	tr.Add("host", "score", 100, 100)
+	p.Slot(0, "snr 8 dB").Add("host", "tx", 0, 0)
+
+	var buf bytes.Buffer
+	if err := p.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Ts   int64  `json:"ts"`
+			Dur  *int64 `json:"dur"`
+			Args map[string]any
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// Slot 0 (pid 1) precedes slot 2 (pid 3) regardless of creation order.
+	if doc.TraceEvents[0].Name != "process_name" || doc.TraceEvents[0].Pid != 1 {
+		t.Fatalf("first event %+v, want process_name pid 1", doc.TraceEvents[0])
+	}
+	var fft *struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Pid  int    `json:"pid"`
+		Tid  int    `json:"tid"`
+		Ts   int64  `json:"ts"`
+		Dur  *int64 `json:"dur"`
+		Args map[string]any
+	}
+	for i := range doc.TraceEvents {
+		if doc.TraceEvents[i].Name == "fft s0" {
+			fft = &doc.TraceEvents[i]
+		}
+	}
+	if fft == nil {
+		t.Fatal("fft span missing from export")
+	}
+	if fft.Ph != "X" || fft.Pid != 3 || fft.Ts != 10 || fft.Dur == nil || *fft.Dur != 64 {
+		t.Errorf("fft event = %+v", fft)
+	}
+	if w, ok := fft.Args["wait_cycles"].(float64); !ok || w != 5 {
+		t.Errorf("fft wait args = %v", fft.Args)
+	}
+}
+
+// TestWriteChromeDeterministic: identical span sets written twice are
+// byte-identical.
+func TestWriteChromeDeterministic(t *testing.T) {
+	build := func() []byte {
+		p := NewProfile()
+		for i := 0; i < 4; i++ {
+			tr := p.Slot(i, "s")
+			tr.Add("host", "tx", 0, 0)
+			tr.AddSpan(Span{Track: "cores 0-3", Name: "k", Start: 1, End: 9, Climb: 2, Wake: 3})
+		}
+		var buf bytes.Buffer
+		if err := p.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build()
+	for i := 0; i < 5; i++ {
+		if b := build(); !bytes.Equal(a, b) {
+			t.Fatal("WriteChrome bytes differ between identical profiles")
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import "repro/internal/engine"
+
+// AppendMachineSpans folds an engine trace into aggregate phase spans:
+// one span per barrier-delimited phase execution, covering [earliest
+// core start, barrier release] on the track of the phase's core
+// partition. Wait is the mean per-core barrier (or handshake) park time;
+// Climb and Wake carry the synchronization costs the engine charged at
+// the release.
+//
+// Machine.Run records events per phase in ascending core order, so a
+// group ends where the job/phase key changes or the core index resets
+// (the next execution of the same phase).
+func AppendMachineSpans(tr *Trace, events []engine.TraceEvent) {
+	if tr == nil {
+		return
+	}
+	for i := 0; i < len(events); {
+		ev := events[i]
+		minStart, maxRel := ev.Start, ev.Release
+		minCore, maxCore := ev.Core, ev.Core
+		wait := ev.Release - ev.Arrive
+		j := i + 1
+		for j < len(events) &&
+			events[j].Job == ev.Job && events[j].Phase == ev.Phase &&
+			events[j].Core > events[j-1].Core {
+			e := events[j]
+			if e.Start < minStart {
+				minStart = e.Start
+			}
+			if e.Release > maxRel {
+				maxRel = e.Release
+			}
+			if e.Core < minCore {
+				minCore = e.Core
+			}
+			if e.Core > maxCore {
+				maxCore = e.Core
+			}
+			wait += e.Release - e.Arrive
+			j++
+		}
+		tr.AddSpan(Span{
+			Track: CoreTrack(minCore, maxCore),
+			Name:  ev.Job + "/" + ev.Phase,
+			Start: minStart,
+			End:   maxRel,
+			Wait:  wait / int64(j-i),
+			Climb: ev.Climb,
+			Wake:  ev.Wake,
+		})
+		i = j
+	}
+}

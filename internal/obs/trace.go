@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span is one named interval on one track of a virtual-time trace. All
+// times are simulated cycles; the exporter maps one cycle to one trace
+// microsecond. Wait, Climb and Wake break the interval down: cycles the
+// span's cores spent parked at a barrier or handshake, and the
+// hierarchical-climb and wake-trigger costs charged at the release.
+type Span struct {
+	Track string
+	Name  string
+	Start int64
+	End   int64
+	Wait  int64
+	Climb int64
+	Wake  int64
+}
+
+// Dur returns the span length in cycles.
+func (s Span) Dur() int64 { return s.End - s.Start }
+
+// Trace collects the spans of one traced slot. The zero value is ready
+// to use; a nil *Trace discards every call, so instrumented code needs
+// no "is tracing on" conditionals.
+type Trace struct {
+	// Name labels the slot (the scenario name in a campaign profile).
+	Name  string
+	Spans []Span
+}
+
+// Add records one span with no wait breakdown.
+func (t *Trace) Add(track, name string, start, end int64) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Track: track, Name: name, Start: start, End: end})
+}
+
+// AddSpan records one fully populated span.
+func (t *Trace) AddSpan(s Span) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, s)
+}
+
+// CoreTrack names the trace track of a contiguous core partition. Spans
+// recorded by different layers (engine phases, chain stages) land on the
+// same track exactly when they name the same core span.
+func CoreTrack(lo, hi int) string {
+	if lo == hi {
+		return fmt.Sprintf("core %d", lo)
+	}
+	return fmt.Sprintf("cores %d-%d", lo, hi)
+}
+
+// Profile holds the traces of a multi-slot run, keyed by slot (scenario)
+// index. Slot registration is mutex-guarded so campaign workers can
+// claim their traces concurrently, but each slot's spans are recorded by
+// the one goroutine running it. A nil *Profile hands out nil traces.
+type Profile struct {
+	mu    sync.Mutex
+	slots map[int]*Trace
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{slots: make(map[int]*Trace)} }
+
+// Slot returns the trace of slot idx, creating it with the given name on
+// first use.
+func (p *Profile) Slot(idx int, name string) *Trace {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.slots[idx]
+	if !ok {
+		t = &Trace{Name: name}
+		p.slots[idx] = t
+	}
+	return t
+}
+
+// SpanCount returns the total spans recorded across all slots.
+func (p *Profile) SpanCount() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, t := range p.slots {
+		n += len(t.Spans)
+	}
+	return n
+}
+
+// chromeEvent is one Chrome trace-event JSON object ("X" complete event
+// or "M" metadata event).
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Ts   int64       `json:"ts"`
+	Dur  *int64      `json:"dur,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Name  string `json:"name,omitempty"`
+	Wait  int64  `json:"wait_cycles,omitempty"`
+	Climb int64  `json:"climb_cycles,omitempty"`
+	Wake  int64  `json:"wake_cycles,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteChrome writes the profile as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing. One process per slot (pid = slot index +
+// 1), one thread per track in first-span order; timestamps map one
+// simulated cycle to one trace microsecond. The output is a pure
+// function of the recorded spans — byte-identical across runs and worker
+// counts.
+func (p *Profile) WriteChrome(w io.Writer) error {
+	if p == nil {
+		return fmt.Errorf("obs: WriteChrome on a nil profile")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idxs := make([]int, 0, len(p.slots))
+	for idx := range p.slots {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var events []chromeEvent
+	for _, idx := range idxs {
+		t := p.slots[idx]
+		pid := idx + 1
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("slot %d", idx)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: &chromeArgs{Name: name},
+		})
+		tids := make(map[string]int)
+		for _, s := range t.Spans {
+			if _, ok := tids[s.Track]; !ok {
+				tid := len(tids) + 1
+				tids[s.Track] = tid
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: &chromeArgs{Name: s.Track},
+				})
+			}
+		}
+		for _, s := range t.Spans {
+			dur := s.Dur()
+			ev := chromeEvent{
+				Name: s.Name, Ph: "X", Pid: pid, Tid: tids[s.Track],
+				Ts: s.Start, Dur: &dur,
+			}
+			if s.Wait != 0 || s.Climb != 0 || s.Wake != 0 {
+				ev.Args = &chromeArgs{Wait: s.Wait, Climb: s.Climb, Wake: s.Wake}
+			}
+			events = append(events, ev)
+		}
+	}
+	out := chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ns",
+		OtherData:       map[string]string{"time_unit": "1 trace us = 1 simulated cycle"},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

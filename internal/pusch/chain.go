@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fixed"
 	"repro/internal/kernels/chest"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/waveform"
 )
@@ -221,6 +222,30 @@ func RunChain(cfg ChainConfig) (*ChainResult, error) {
 // scenario runs; a reused machine reproduces a fresh machine's cycle
 // counts exactly.
 func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
+	return runChainOn(m, cfg, nil)
+}
+
+// RunChainTraced executes the chain on a freshly built machine with span
+// tracing: every chain stage window and every engine phase lands in tr
+// as a virtual-time span. Tracing is observation only — the result (and
+// its record) is byte-identical to an untraced run.
+func RunChainTraced(cfg ChainConfig, tr *obs.Trace) (*ChainResult, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return RunChainTracedOn(engine.NewMachine(cfg.Cluster), cfg, tr)
+}
+
+// RunChainTracedOn is RunChainTraced on a caller-supplied (fresh or
+// Reset) machine. The run attaches its own engine.Tracer for the
+// duration and restores the machine's previous tracer afterwards; a nil
+// tr degrades to exactly RunChainOn.
+func RunChainTracedOn(m *engine.Machine, cfg ChainConfig, tr *obs.Trace) (*ChainResult, error) {
+	return runChainOn(m, cfg, tr)
+}
+
+func runChainOn(m *engine.Machine, cfg ChainConfig, tr *obs.Trace) (*ChainResult, error) {
 	if cfg.Cluster == nil {
 		cfg.Cluster = m.Cfg
 	}
@@ -238,14 +263,27 @@ func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
 
+	if tr != nil {
+		// Attach a private engine tracer for the run; the machine pool
+		// scrubs tracers on Get, so traced runs own their attachment.
+		prev := m.Tracer
+		m.Tracer = &engine.Tracer{}
+		defer func() { m.Tracer = prev }()
+	}
 	tx, err := NewSlotTX(&cfg, rng)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		// Host-side work carries no simulated cycles: an instant marker.
+		c := m.Cycles()
+		tr.Add("host", "slot-tx", c, c)
 	}
 	pl, err := NewPipeline(m, cfg)
 	if err != nil {
 		return nil, err
 	}
+	pl.trace = tr
 	for s := 0; s < cfg.NSymb; s++ {
 		if err := pl.RunSymbol(s, tx.RxTime[s]); err != nil {
 			return nil, err
@@ -257,6 +295,11 @@ func RunChainOn(m *engine.Machine, cfg ChainConfig) (*ChainResult, error) {
 	lm, err := ScoreSlot(&cfg, tx, pl.Detected())
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		obs.AppendMachineSpans(tr, m.Tracer.Events)
+		c := m.Cycles()
+		tr.Add("host", "score", c, c)
 	}
 	return &ChainResult{
 		BER:         lm.BER,

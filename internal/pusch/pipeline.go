@@ -9,6 +9,7 @@ import (
 	"repro/internal/kernels/fft"
 	"repro/internal/kernels/mimo"
 	"repro/internal/kernels/mmm"
+	"repro/internal/obs"
 	"repro/internal/waveform"
 )
 
@@ -61,6 +62,11 @@ type Pipeline struct {
 	start    int64
 	detected []fixed.C15
 	stages   map[Stage]engine.Report
+
+	// trace, when non-nil, receives one stage-level span per measured
+	// window (RunChainTracedOn sets it). Spans are pure observations —
+	// they never feed back into timing.
+	trace *obs.Trace
 }
 
 // NewPipeline plans every kernel of the receive chain on m according to
@@ -224,16 +230,18 @@ func (pl *Pipeline) planPipelined() error {
 }
 
 // accumulate folds one measured window into the per-stage aggregate.
-func (pl *Pipeline) accumulate(stage Stage, mark engine.Mark, name string) {
-	pl.accumulateOn(stage, mark, name, nil)
+func (pl *Pipeline) accumulate(stage Stage, mark engine.Mark, name string, sym int) {
+	pl.accumulateOn(stage, mark, name, nil, sym)
 }
 
 // accumulateOn folds one measured window over an explicit core set (the
 // stage's partition; nil means the whole cluster) into the per-stage
 // aggregate. Under a pipelined layout the window includes the
 // partition's NotBefore wait, so a stage's Wall reads as partition
-// occupancy and the per-stage walls of one slot overlap in time.
-func (pl *Pipeline) accumulateOn(stage Stage, mark engine.Mark, name string, cores []int) {
+// occupancy and the per-stage walls of one slot overlap in time. When a
+// trace is attached, the same window becomes one stage-level span named
+// "<name> s<sym>" on the partition's track.
+func (pl *Pipeline) accumulateOn(stage Stage, mark engine.Mark, name string, cores []int, sym int) {
 	rep := pl.m.ReportSince(mark, name, cores)
 	agg := pl.stages[stage]
 	agg.Name = string(stage)
@@ -241,6 +249,28 @@ func (pl *Pipeline) accumulateOn(stage Stage, mark engine.Mark, name string, cor
 	agg.Wall += rep.Wall
 	agg.Stats.Add(rep.Stats)
 	pl.stages[stage] = agg
+	if pl.trace != nil {
+		start, end := pl.m.WindowSince(mark, cores)
+		pl.trace.Add(pl.trackFor(cores), fmt.Sprintf("%s s%d", name, sym), start, end)
+	}
+}
+
+// trackFor names the trace track of a stage's core partition (nil means
+// the whole cluster).
+func (pl *Pipeline) trackFor(cores []int) string {
+	if cores == nil {
+		return obs.CoreTrack(0, pl.m.Cfg.NumCores()-1)
+	}
+	lo, hi := cores[0], cores[0]
+	for _, c := range cores[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return obs.CoreTrack(lo, hi)
 }
 
 // RunSymbol processes OFDM symbol s from its per-antenna time-domain
@@ -276,14 +306,14 @@ func (pl *Pipeline) runSymbolSequential(s int, rx [][]complex128) error {
 		return err
 	}
 	pl.m.ClusterBarrier()
-	pl.accumulate(StageOFDM, mark, "fft")
+	pl.accumulate(StageOFDM, mark, "fft", s)
 
 	mark = pl.m.Mark()
 	if err := pl.bfPlan.Run(); err != nil {
 		return err
 	}
 	pl.m.ClusterBarrier()
-	pl.accumulate(StageBF, mark, "bf")
+	pl.accumulate(StageBF, mark, "bf", s)
 
 	switch {
 	case s < cfg.NPilot:
@@ -292,14 +322,14 @@ func (pl *Pipeline) runSymbolSequential(s int, rx [][]complex128) error {
 			return err
 		}
 		pl.m.ClusterBarrier()
-		pl.accumulate(StageCHE, mark, "chest")
+		pl.accumulate(StageCHE, mark, "chest", s)
 		if s == cfg.NPilot-1 {
 			mark = pl.m.Mark()
 			if err := pl.comb.Run(); err != nil {
 				return err
 			}
 			pl.m.ClusterBarrier()
-			pl.accumulate(StageNE, mark, "combine")
+			pl.accumulate(StageNE, mark, "combine", s)
 		}
 	default:
 		mark = pl.m.Mark()
@@ -307,7 +337,7 @@ func (pl *Pipeline) runSymbolSequential(s int, rx [][]complex128) error {
 			return err
 		}
 		pl.m.ClusterBarrier()
-		pl.accumulate(StageMIMO, mark, "mimo")
+		pl.accumulate(StageMIMO, mark, "mimo", s)
 		pl.detected = append(pl.detected, pl.mimoPlan.ReadX()...)
 	}
 	return nil
@@ -427,23 +457,23 @@ func (pl *Pipeline) issueBeat(beat int) error {
 	pl.m.TrimReservations()
 	if doFFT {
 		pl.finFFT[sFFT] = pl.m.MaxTime(lay.FFT)
-		pl.accumulateOn(StageOFDM, mark, "fft", lay.FFT)
+		pl.accumulateOn(StageOFDM, mark, "fft", lay.FFT, sFFT)
 	}
 	if doBF {
 		pl.finBF[sBF] = pl.m.MaxTime(lay.BF)
-		pl.accumulateOn(StageBF, mark, "bf", lay.BF)
+		pl.accumulateOn(StageBF, mark, "bf", lay.BF, sBF)
 	}
 	if !doDet {
 		return nil
 	}
 	if sDet >= cfg.NPilot {
 		pl.finDet[sDet] = pl.m.MaxTime(lay.MIMO)
-		pl.accumulateOn(StageMIMO, mark, "mimo", lay.MIMO)
+		pl.accumulateOn(StageMIMO, mark, "mimo", lay.MIMO, sDet)
 		pl.detected = append(pl.detected, pl.mimoPlans[sDet&1].ReadX()...)
 		return nil
 	}
 	pl.finDet[sDet] = pl.m.MaxTime(lay.CHE)
-	pl.accumulateOn(StageCHE, mark, "chest", lay.CHE)
+	pl.accumulateOn(StageCHE, mark, "chest", lay.CHE, sDet)
 	if sDet == cfg.NPilot-1 {
 		// Noise combine: needs both pilot estimates. On a layout where NE
 		// shares the detection partition this serializes behind the chest
@@ -456,7 +486,7 @@ func (pl *Pipeline) issueBeat(beat int) error {
 			return err
 		}
 		pl.finNE = pl.m.MaxTime(lay.NE)
-		pl.accumulateOn(StageNE, mark, "combine", lay.NE)
+		pl.accumulateOn(StageNE, mark, "combine", lay.NE, sDet)
 	}
 	return nil
 }

@@ -55,6 +55,15 @@ type FleetSummary struct {
 	Utilization float64 `json:"utilization"`
 	DropRate    float64 `json:"drop_rate"`
 
+	// Exact nearest-rank wait and sojourn percentiles over every served
+	// job in the fleet, mirroring ServiceSummary's per-cell fields.
+	WaitP50Cycles    int64 `json:"wait_p50_cycles"`
+	WaitP95Cycles    int64 `json:"wait_p95_cycles"`
+	WaitP99Cycles    int64 `json:"wait_p99_cycles"`
+	LatencyP50Cycles int64 `json:"latency_p50_cycles"`
+	LatencyP95Cycles int64 `json:"latency_p95_cycles"`
+	LatencyP99Cycles int64 `json:"latency_p99_cycles"`
+
 	// PerCell carries each cell's own ServiceSummary (Kind
 	// "cell-summary", indexed by Cell). The JSONL stream emits these as
 	// separate lines; the BENCH artifact embeds them here.

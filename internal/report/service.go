@@ -88,6 +88,16 @@ type ServiceSummary struct {
 	MeanLatencyCycles float64 `json:"mean_latency_cycles"`
 	MaxLatencyCycles  int64   `json:"max_latency_cycles"`
 
+	// Exact nearest-rank percentiles of the same distributions, over
+	// served jobs. Computed from the full order statistics (not histogram
+	// buckets), so they are deterministic and interpolation-free.
+	WaitP50Cycles    int64 `json:"wait_p50_cycles"`
+	WaitP95Cycles    int64 `json:"wait_p95_cycles"`
+	WaitP99Cycles    int64 `json:"wait_p99_cycles"`
+	LatencyP50Cycles int64 `json:"latency_p50_cycles"`
+	LatencyP95Cycles int64 `json:"latency_p95_cycles"`
+	LatencyP99Cycles int64 `json:"latency_p99_cycles"`
+
 	// Utilization is busy server-cycles over Servers * HorizonCycles;
 	// DropRate is Dropped / Jobs.
 	Utilization float64 `json:"utilization"`

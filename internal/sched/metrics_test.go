@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// metricsText serves the trace through a stub scheduler wired to a
+// fresh registry and returns the Prometheus exposition plus the summary.
+func metricsText(t *testing.T, cfg Config, trace []Job) (string, report.ServiceSummary) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	s := stubScheduler(cfg)
+	_, sum := s.Serve(trace)
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), sum
+}
+
+// TestServeRecordsMetrics: one served/dropped/failed blend must land in
+// the registry as outcome counters, wait/latency histograms sized to
+// the served count, the queue-depth distribution, and the utilization
+// gauge.
+func TestServeRecordsMetrics(t *testing.T) {
+	trace := []Job{
+		stubJob("a", 0, 100),
+		stubJob("b", 0, 100),
+		stubJob("c", 0, 100),
+	}
+	bad := stubJob("d", 0, 100)
+	bad.Chain.SNRdB = -1 // stub fails on negative SNR
+	trace = append(trace, bad)
+
+	out, sum := metricsText(t, Config{Servers: 1, QueueDepth: 8, Workers: 1}, trace)
+	if sum.Served != 3 || sum.Failed != 1 {
+		t.Fatalf("served %d failed %d, want 3/1", sum.Served, sum.Failed)
+	}
+	for _, want := range []string{
+		`pusch_sched_jobs_total{outcome="served"} 3`,
+		`pusch_sched_jobs_total{outcome="dropped"} 0`,
+		`pusch_sched_jobs_total{outcome="failed"} 1`,
+		"pusch_sched_wait_cycles_count 3",
+		"pusch_sched_latency_cycles_count 3",
+		"# TYPE pusch_sched_queue_depth histogram",
+		"# TYPE pusch_sched_utilization gauge",
+		"pusch_sched_offered_bits_total",
+		"pusch_sched_served_bits_total 3000",
+		"# TYPE pusch_cache_hits_total counter",
+		"# TYPE pusch_pool_machines_built_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Queue-depth samples: one per admission decision (failed jobs never
+	// reach the queue).
+	if !strings.Contains(out, "pusch_sched_queue_depth_count 3") {
+		t.Errorf("queue depth not sampled once per admission decision:\n%s", out)
+	}
+}
+
+// TestServeMetricsDeterministic: identical runs produce byte-identical
+// expositions.
+func TestServeMetricsDeterministic(t *testing.T) {
+	trace := []Job{stubJob("a", 0, 50), stubJob("b", 10, 50), stubJob("c", 20, 50)}
+	run := func() string {
+		out, _ := metricsText(t, Config{Servers: 1, Workers: 1}, trace)
+		return out
+	}
+	a := run()
+	for i := 0; i < 3; i++ {
+		if b := run(); b != a {
+			t.Fatalf("metrics exposition differs between identical runs:\n%s\n---\n%s", a, b)
+		}
+	}
+}
+
+// TestSummaryPercentiles pins the nearest-rank wait/latency percentiles
+// on a hand-computable single-server queue: five simultaneous arrivals,
+// 100-cycle service each, so waits are 0,100,200,300,400.
+func TestSummaryPercentiles(t *testing.T) {
+	var trace []Job
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		trace = append(trace, stubJob(n, 0, 100))
+	}
+	s := stubScheduler(Config{Servers: 1, QueueDepth: 8, Workers: 1})
+	_, sum := s.Serve(trace)
+	if sum.Served != 5 {
+		t.Fatalf("served %d, want 5", sum.Served)
+	}
+	if sum.WaitP50Cycles != 200 || sum.WaitP95Cycles != 400 || sum.WaitP99Cycles != 400 {
+		t.Errorf("wait p50/p95/p99 = %d/%d/%d, want 200/400/400",
+			sum.WaitP50Cycles, sum.WaitP95Cycles, sum.WaitP99Cycles)
+	}
+	if sum.LatencyP50Cycles != 300 || sum.LatencyP95Cycles != 500 || sum.LatencyP99Cycles != 500 {
+		t.Errorf("latency p50/p95/p99 = %d/%d/%d, want 300/500/500",
+			sum.LatencyP50Cycles, sum.LatencyP95Cycles, sum.LatencyP99Cycles)
+	}
+}
+
+// TestNilMetricsConfigUnchanged: a nil registry must leave serving
+// byte-identical (guard against accidental coupling).
+func TestNilMetricsConfigUnchanged(t *testing.T) {
+	trace := []Job{stubJob("a", 0, 100), stubJob("b", 50, 100)}
+	plain := stubScheduler(Config{Servers: 1, Workers: 1})
+	var plainOut strings.Builder
+	if _, err := plain.WriteJSONL(&plainOut, trace); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	metered := stubScheduler(Config{Servers: 1, Workers: 1, Metrics: reg})
+	var meteredOut strings.Builder
+	if _, err := metered.WriteJSONL(&meteredOut, trace); err != nil {
+		t.Fatal(err)
+	}
+	if plainOut.String() != meteredOut.String() {
+		t.Error("enabling metrics changed the served stream")
+	}
+	if err := reg.WriteProm(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

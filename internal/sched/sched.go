@@ -2,6 +2,7 @@ package sched
 
 import (
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/timecache"
@@ -61,6 +62,14 @@ type Config struct {
 	// bypassed in both directions. Analytic jobs without a loaded
 	// model surface as Failed. Cycle-accurate jobs never consult it.
 	Model *timing.Model
+	// Metrics, when non-nil, receives the run's deterministic metric
+	// families (job outcomes, wait/sojourn histograms, queue depth,
+	// cache and machine-pool traffic) for Prometheus exposition. Every
+	// recorded value is a count or a simulated-cycle quantity, so a
+	// snapshot after Serve is byte-identical across runs and worker
+	// counts (host-side pool/cache counters excepted — they mirror
+	// HostStats and vary with the fan-out). Nil records nothing.
+	Metrics *obs.Registry
 }
 
 // Outcome classifies what the service did with one job.

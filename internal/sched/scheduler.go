@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/pusch"
 	"repro/internal/report"
 	"repro/internal/timecache"
@@ -124,6 +125,14 @@ func (s *Scheduler) Serve(jobs []Job) ([]JobResult, report.ServiceSummary) {
 		}
 	}
 	sum.Host = &host
+	if reg := s.Cfg.Metrics; reg != nil {
+		RecordServiceMetrics(reg, "", results, &sum)
+		entries := 0
+		if s.Cfg.Cache != nil {
+			entries = s.Cfg.Cache.Stats().Entries
+		}
+		RecordHostMetrics(reg, &host, sum.Pool, entries)
+	}
 	return results, sum
 }
 
@@ -247,6 +256,11 @@ func (s *Scheduler) replay(jobs []Job, order []int, meas []measured, pool *engin
 	free := make([]int64, servers) // each server's next-free cycle
 	var queue []int                // waiting jobs, arrival-order positions
 
+	// Queue depth sampled at each arrival event over virtual time (nil
+	// registry: nil handle, no-op observations).
+	depthH := s.Cfg.Metrics.Histogram(MetricQueueDepth,
+		"wait-queue depth sampled at each admission decision, over virtual time", obs.DepthBuckets)
+
 	// earliest returns the server that frees first (lowest index ties).
 	earliest := func() (srv int, at int64) {
 		srv, at = 0, free[0]
@@ -305,6 +319,7 @@ func (s *Scheduler) replay(jobs []Job, order []int, meas []measured, pool *engin
 		} else {
 			r.Outcome = Dropped
 		}
+		depthH.Observe(int64(len(queue)))
 	}
 	for len(queue) > 0 {
 		srv, at := earliest()
@@ -332,6 +347,7 @@ func Summarize(results []JobResult, servers, queueCap int) report.ServiceSummary
 	}
 	var firstArrival, lastEvent int64
 	var busy, waitSum, latSum int64
+	var waits, lats []int64
 	analytic := 0
 	for i := range results {
 		r := &results[i]
@@ -352,6 +368,8 @@ func Summarize(results []JobResult, servers, queueCap int) report.ServiceSummary
 			busy += r.ServiceCycles
 			waitSum += r.Record.WaitCycles
 			latSum += r.Record.LatencyCycles
+			waits = append(waits, r.Record.WaitCycles)
+			lats = append(lats, r.Record.LatencyCycles)
 			if r.Record.WaitCycles > sum.MaxWaitCycles {
 				sum.MaxWaitCycles = r.Record.WaitCycles
 			}
@@ -386,6 +404,14 @@ func Summarize(results []JobResult, servers, queueCap int) report.ServiceSummary
 	if sum.Served > 0 {
 		sum.MeanWaitCycles = float64(waitSum) / float64(sum.Served)
 		sum.MeanLatencyCycles = float64(latSum) / float64(sum.Served)
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		sum.WaitP50Cycles = obs.PercentileInt64(waits, 50)
+		sum.WaitP95Cycles = obs.PercentileInt64(waits, 95)
+		sum.WaitP99Cycles = obs.PercentileInt64(waits, 99)
+		sum.LatencyP50Cycles = obs.PercentileInt64(lats, 50)
+		sum.LatencyP95Cycles = obs.PercentileInt64(lats, 95)
+		sum.LatencyP99Cycles = obs.PercentileInt64(lats, 99)
 	}
 	if sum.Jobs > 0 {
 		sum.DropRate = float64(sum.Dropped) / float64(sum.Jobs)

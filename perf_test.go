@@ -4,7 +4,7 @@
 // a repeated-coordinate trace, the allocation footprint of the engine
 // hot path, and the Fig. 3 table rendering. Run with
 //
-//	go test -bench='SchedulerTrace|MachineRunAllocs|Fig3Table' -benchmem
+//	go test -bench='SchedulerTrace|MachineRun|Fig3Table' -benchmem
 package repro
 
 import (
@@ -91,6 +91,39 @@ func BenchmarkMachineRunAllocs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if err := m.Run(job); err != nil {
+			b.Fatal(err)
+		}
+		m.ClusterBarrier()
+	}
+}
+
+// BenchmarkMachineRunTraced is BenchmarkMachineRunAllocs with the
+// engine tracer attached: the gap between the two is the cost of span
+// recording, paid only when tracing is requested (the untraced hot path
+// stays at zero allocations — see TestUntracedRunAllocsNothing in
+// internal/engine).
+func BenchmarkMachineRunTraced(b *testing.B) {
+	m := engine.NewMachine(arch.MemPool())
+	m.Tracer = &engine.Tracer{}
+	cores := make([]int, 16)
+	for i := range cores {
+		cores[i] = i
+	}
+	work := func(p *engine.Proc) { p.Tick(64) }
+	job := engine.Job{
+		Name:  "bench",
+		Cores: cores,
+		Phases: []engine.Phase{
+			{Name: "a", Kernel: "bench/k", Work: work},
+			{Name: "b", Kernel: "bench/k", Work: work},
+			{Name: "c", Kernel: "bench/k", Work: work},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tracer.Events = m.Tracer.Events[:0]
 		if err := m.Run(job); err != nil {
 			b.Fatal(err)
 		}

@@ -45,18 +45,30 @@
 // handovers) is embedded in the -out document as the artifact's
 // "fleet" section.
 //
+// Gating runs also time the cycle-accurate reference slots on the host
+// (the MemPool gate slot and the full-scale 256-subcarrier TeraPool
+// slot) and embed the wall-clock slots/sec as the artifact's "host"
+// section, printing old -> new against the newest committed BENCH
+// artifact that has host numbers. The numbers are host-specific and
+// never diffed; the CI host-throughput smoke step (-host-smoke) gates
+// the gate slot's best-run wall time against them instead, failing on
+// a regression beyond -host-gate percent (see docs/ARCHITECTURE.md,
+// "Engine performance model").
+//
 // Usage:
 //
 //	benchgate [-baseline testdata/baseline_kernels.json]
 //	          [-calibration testdata/calibration.json]
 //	          [-fresh BENCH.json] [-out BENCH_2026-07-26.json]
 //	benchgate -update-calibration
+//	benchgate -host-smoke [-host-gate 25]
 //
 // With no -fresh, benchgate runs the quick subset itself (the layout
 // gate always runs live). -out additionally writes the fresh document
 // (the CI workflow uploads it as the per-commit benchmark artifact).
 // -update-calibration refits the analytic timing model on the golden
 // fit grid and rewrites the committed artifact instead of gating.
+// -host-smoke measures only the gate slot's host wall time and exits.
 //
 // Exit status: 0 when the tree reproduces the baseline exactly and the
 // layout, cache, calibration and fleet gates hold, 1 on kernel drift
@@ -72,6 +84,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/bench"
@@ -300,6 +315,129 @@ func runFleetGate() fleetVerdict {
 	}
 }
 
+// hostSlot is one reference configuration of the host-throughput
+// section.
+type hostSlot struct {
+	name string
+	runs int
+	cfg  pusch.ChainConfig
+}
+
+// hostSlots are the reference slots the host section measures: the
+// layout-gate slot on stock MemPool, plus the full-scale 256-subcarrier
+// slot on stock TeraPool (smokeOnly drops the latter — the CI smoke
+// step gates the MemPool slot only).
+func hostSlots(smokeOnly bool) []hostSlot {
+	gate := hostSlot{name: "mempool-64sc", runs: 5, cfg: gateChain()}
+	if smokeOnly {
+		return []hostSlot{gate}
+	}
+	tera := gateChain()
+	tera.Cluster = arch.TeraPool()
+	tera.NSC = 256
+	return []hostSlot{gate, {name: "terapool-256sc", runs: 3, cfg: tera}}
+}
+
+// measureHost times the reference slots cycle-accurately on a reused
+// machine: one untimed warm-up per slot (first-touch allocation), then
+// runs timed executions. BestRunSeconds carries the fastest run — the
+// quantity the smoke gate compares, being far more stable than a mean
+// on a noisy shared runner.
+func measureHost(slots []hostSlot) (*report.HostSection, error) {
+	pool := engine.NewMachines()
+	sec := &report.HostSection{}
+	for _, hs := range slots {
+		m := pool.Get(hs.cfg.Cluster)
+		if _, err := pusch.RunChainRecordOn(m, hs.cfg); err != nil {
+			return nil, fmt.Errorf("host slot %s warm-up: %w", hs.name, err)
+		}
+		var total, best float64
+		for i := 0; i < hs.runs; i++ {
+			m.Reset()
+			t0 := time.Now()
+			if _, err := pusch.RunChainRecordOn(m, hs.cfg); err != nil {
+				return nil, fmt.Errorf("host slot %s: %w", hs.name, err)
+			}
+			d := time.Since(t0).Seconds()
+			total += d
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		pool.Put(m)
+		sec.Slots = append(sec.Slots, report.HostSlotRecord{
+			Name:           hs.name,
+			Cluster:        hs.cfg.Cluster.Name,
+			NSC:            hs.cfg.NSC,
+			Runs:           hs.runs,
+			WallSeconds:    total,
+			SlotsPerSec:    float64(hs.runs) / total,
+			BestRunSeconds: best,
+		})
+	}
+	return sec, nil
+}
+
+// committedHostBaseline loads the newest committed BENCH_*.json (they
+// sort by date) that carries a host section, for the old -> new
+// throughput comparison. Returns nils when none does.
+func committedHostBaseline() (*report.Document, string) {
+	paths, _ := filepath.Glob("BENCH_*.json")
+	sort.Strings(paths)
+	for i := len(paths) - 1; i >= 0; i-- {
+		d, err := report.Load(paths[i])
+		if err == nil && d.Host != nil && len(d.Host.Slots) > 0 {
+			return d, paths[i]
+		}
+	}
+	return nil, ""
+}
+
+// oldBestRun returns the comparable best-run seconds of a committed
+// host record (falling back to the mean when the field is absent).
+func oldBestRun(r *report.HostSlotRecord) float64 {
+	if r.BestRunSeconds > 0 {
+		return r.BestRunSeconds
+	}
+	if r.SlotsPerSec > 0 {
+		return 1 / r.SlotsPerSec
+	}
+	return 0
+}
+
+// runHostSmoke is the CI host-throughput smoke gate: measure the gate
+// slot's wall time and fail when its best run regresses more than pct
+// percent against the newest committed BENCH host numbers. Passes with
+// a note when no committed artifact has host numbers yet.
+func runHostSmoke(pct float64) int {
+	slots := hostSlots(true)
+	slots[0].runs = 10 // extra runs: the smoke verdict hangs on the minimum
+	sec, err := measureHost(slots)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	rec := sec.Slots[0]
+	baseDoc, basePath := committedHostBaseline()
+	var old *report.HostSlotRecord
+	if baseDoc != nil {
+		old = baseDoc.Host.Find(rec.Name)
+	}
+	if old == nil || oldBestRun(old) <= 0 {
+		fmt.Printf("benchgate: host smoke: %s %.1f slots/s (best run %.1f ms); no committed BENCH host baseline — passing with note\n",
+			rec.Name, rec.SlotsPerSec, 1000*rec.BestRunSeconds)
+		return 0
+	}
+	limit := oldBestRun(old) * (1 + pct/100)
+	fmt.Printf("benchgate: host smoke: %s best run %.1f ms vs %.1f ms committed in %s (limit +%.0f%% = %.1f ms)\n",
+		rec.Name, 1000*rec.BestRunSeconds, 1000*oldBestRun(old), basePath, pct, 1000*limit)
+	if rec.BestRunSeconds > limit {
+		fmt.Printf("benchgate: FAIL — gate-slot wall time regressed more than %.0f%% against %s\n", pct, basePath)
+		return 1
+	}
+	return 0
+}
+
 // layoutVerdict finds the sequential reference and the best pipelined
 // layout in the sweep records and reports whether the gate holds.
 func layoutVerdict(recs []report.SlotRecord) (seq, best report.SlotRecord, ok bool) {
@@ -328,6 +466,10 @@ func main() {
 		"committed analytic-timing calibration artifact to gate against")
 	updateCal := flag.Bool("update-calibration", false,
 		"refit the analytic timing model on the golden fit grid and rewrite -calibration, then exit")
+	hostSmoke := flag.Bool("host-smoke", false,
+		"measure host wall time of the gate slot only and gate it against the newest committed BENCH_*.json host section, then exit")
+	hostGate := flag.Float64("host-gate", 25,
+		"host smoke: maximum allowed best-run wall-time regression in percent")
 	flag.Parse()
 
 	if *updateCal {
@@ -336,6 +478,10 @@ func main() {
 			os.Exit(2)
 		}
 		return
+	}
+
+	if *hostSmoke {
+		os.Exit(runHostSmoke(*hostGate))
 	}
 
 	base, err := report.Load(*baselinePath)
@@ -396,6 +542,22 @@ func main() {
 	fleetSum := fv.sum
 	fresh.Fleet = &fleetSum
 
+	// Host-throughput section: wall-clock slots/sec of the reference
+	// slots on this host. Informational (never diffed — numbers are
+	// host-specific), but committed per artifact so the engine hot-path
+	// work has a recorded trajectory and the CI smoke step has numbers
+	// to gate against.
+	host, err := measureHost(hostSlots(false))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	fresh.Host = host
+	// Resolve the old numbers before -out lands on disk: the fresh
+	// artifact is often named BENCH_<today>.json and would otherwise be
+	// its own baseline.
+	hostBase, hostBasePath := committedHostBaseline()
+
 	if *outPath != "" {
 		if err := fresh.WriteFile(*outPath); err != nil {
 			log.Print(err)
@@ -417,6 +579,24 @@ func main() {
 	fmt.Printf("benchgate: layout gate on %s (%d-SC slot): sequential %.4f Gb/s (%d cycles), best pipelined %s %.4f Gb/s (%d cycles, %+.1f%%)\n",
 		seq.Cluster, gateChain().NSC, seq.ThroughputGbps, seq.TotalCycles,
 		best.Layout, best.ThroughputGbps, best.TotalCycles, gain)
+
+	// Host throughput, old -> new against the newest committed artifact
+	// with host numbers (informational: the cycle gates above are the
+	// correctness story, this line is the host-cost story).
+	for _, rec := range host.Slots {
+		var old *report.HostSlotRecord
+		if hostBase != nil {
+			old = hostBase.Host.Find(rec.Name)
+		}
+		if old != nil && old.SlotsPerSec > 0 {
+			fmt.Printf("benchgate: host throughput %s: %.1f -> %.1f slots/s (%+.0f%% vs %s)\n",
+				rec.Name, old.SlotsPerSec, rec.SlotsPerSec,
+				100*(rec.SlotsPerSec/old.SlotsPerSec-1), hostBasePath)
+		} else {
+			fmt.Printf("benchgate: host throughput %s: %.1f slots/s (no committed baseline yet)\n",
+				rec.Name, rec.SlotsPerSec)
+		}
+	}
 
 	cacheOK := cv.exact && cv.allHits
 	if h := cv.warmSum.Host; h != nil {

@@ -69,6 +69,17 @@
 // coordinates, stamped "analytic" and held to a committed error
 // budget). docs/TIMING.md specifies the analytic model.
 //
+// The cycle-accurate path itself is engineered to be cheap on the
+// host without moving a simulated cycle: bulk access ops batch kernel
+// load/store spans with scalar-identical timing, the bank-reservation
+// table runs allocation-free epochs, and the interpreter hot path is
+// flattened against hoisted cluster invariants. The bulk-access
+// contract, the gates pinning cycle-exactness (property test plus
+// benchgate baselines) and the host-throughput measurement loop
+// (BENCH `host` section, CI smoke gate, committed pprof profiles in
+// docs/perf/) are specified in docs/ARCHITECTURE.md, "Engine
+// performance model".
+//
 // The layer-by-layer map of the codebase — tcdm memory model up through
 // engine, kernels, chain, campaign/scheduler/fleet, telemetry and the
 // command-line tools — is docs/ARCHITECTURE.md.

@@ -137,6 +137,16 @@ func NewMachine(cfg *arch.Config) *Machine {
 		barArrive:  make([]int64, cfg.NumCores()),
 	}
 	m.reserveBarrierRows()
+	// The one scratch Proc's cluster invariants, set once; Run reassigns
+	// the per-phase fields without re-zeroing the struct.
+	m.procScratch.m = m
+	m.procScratch.lsu = m.lsuScratch
+	m.procScratch.nb = cfg.NumBanks()
+	if nb := m.procScratch.nb; nb&(nb-1) == 0 {
+		m.procScratch.nbMask = nb - 1
+	}
+	m.procScratch.latReq = cfg.Lat.Req
+	m.procScratch.latResp = cfg.Lat.Resp
 	for t := range m.icache {
 		m.icache[t].resident = make(map[string]int)
 	}
@@ -176,7 +186,10 @@ func (m *Machine) Reset() {
 		m.coreStats[i] = Stats{}
 	}
 	for t := range m.icache {
-		m.icache[t] = tileICache{resident: make(map[string]int)}
+		ic := &m.icache[t]
+		clear(ic.resident)
+		ic.order = ic.order[:0]
+		ic.used = 0
 	}
 	m.phaseCounter = 0
 	clear(m.raceWriters)
@@ -361,6 +374,10 @@ func (m *Machine) Run(jobs ...Job) error {
 	if err := m.validateJobs(jobs); err != nil {
 		return err
 	}
+	// Per-cluster invariants of the flattened Proc access path.
+	ports := int64(m.Cfg.ICache.FetchPorts)
+	bpt := m.Cfg.BanksPerTile()
+	bpg := bpt * m.Cfg.TilesPerGroup
 	for ji := range jobs {
 		job := &jobs[ji]
 		cores := append(m.runCores[:0], job.Cores...)
@@ -417,8 +434,8 @@ func (m *Machine) Run(jobs ...Job) error {
 			for idx := range cores {
 				li := (idx + rot) % len(cores)
 				core := cores[li]
-				ports := int64(m.Cfg.ICache.FetchPorts)
-				active := int64(m.tileCount[m.Cfg.TileOfCore(core)])
+				tile := m.Cfg.TileOfCore(core)
+				active := int64(m.tileCount[tile])
 				// Miss cost in eighths of a cycle: a lone core's
 				// sequential prefetch hides L0 misses entirely; with
 				// more cores sharing the tile cache the service cost
@@ -427,22 +444,27 @@ func (m *Machine) Run(jobs ...Job) error {
 				if active == 1 {
 					taxNum = 0
 				}
-				// One reusable Proc: the struct-literal assignment resets
-				// every field, and the recycled LSU ring starts empty
+				// One reusable Proc: every per-phase field is reassigned
+				// here (the cluster invariants m/lsu/nb/lat* are set once
+				// in NewMachine), and the recycled LSU ring starts empty
 				// (lsuLen 0), so stale completion times are never read.
 				p := &m.procScratch
-				*p = Proc{
-					Core:   core,
-					Lane:   li,
-					Lanes:  len(cores),
-					m:      m,
-					now:    m.coreTime[core],
-					st:     &m.coreStats[core],
-					lsu:    m.lsuScratch,
-					taxNum: taxNum,
-					taxDen: 8 * int64(fetchEvery),
-				}
-				if c := m.icacheCost(m.Cfg.TileOfCore(core), kernel, lines); c > 0 {
+				grp := m.Cfg.GroupOfCore(core)
+				p.Core = core
+				p.Lane = li
+				p.Lanes = len(cores)
+				p.now = m.coreTime[core]
+				p.st = &m.coreStats[core]
+				p.lsuHead, p.lsuLen = 0, 0
+				p.divFree = 0
+				p.taxNum = taxNum
+				p.taxDen = 8 * int64(fetchEvery)
+				p.taxAcc = 0
+				p.tLo = tile * bpt
+				p.tHi = tile*bpt + bpt
+				p.gLo = grp * bpg
+				p.gHi = grp*bpg + bpg
+				if c := m.icacheCost(tile, kernel, lines); c > 0 {
 					p.st.ICacheStalls += c
 					p.now += c
 				}
@@ -476,14 +498,16 @@ func (m *Machine) Run(jobs ...Job) error {
 				}
 				// Reset the barrier counter for reuse.
 				m.Mem.Write(m.barrierRow[m.Cfg.TileOfCore(cores[0])].Addr(barSlot, 0), 0)
-				for li, core := range cores {
-					m.Tracer.record(TraceEvent{
-						Job: job.Name, Phase: ph.Name, Core: core,
-						Start: starts[li], Arrive: arrivals[li], Release: release,
-						Climb: climb, Wake: wake,
-					})
+				if m.Tracer != nil {
+					for li, core := range cores {
+						m.Tracer.record(TraceEvent{
+							Job: job.Name, Phase: ph.Name, Core: core,
+							Start: starts[li], Arrive: arrivals[li], Release: release,
+							Climb: climb, Wake: wake,
+						})
+					}
 				}
-			} else {
+			} else if m.Tracer != nil {
 				m.Tracer.record(TraceEvent{
 					Job: job.Name, Phase: ph.Name, Core: cores[0],
 					Start: starts[0], Arrive: arrivals[0], Release: arrivals[0],

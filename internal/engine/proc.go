@@ -51,6 +51,27 @@ type Proc struct {
 	// turn into one instruction-stall cycle. taxNum is the per-
 	// instruction accrual (missCost8), taxDen = 8 * Phase.FetchEvery.
 	taxNum, taxDen, taxAcc int64
+
+	// Flattened memory-map constants, hoisted from the Config when the
+	// phase starts so the access fast path needs no Decompose divisions:
+	// the global bank of a word address is addr % nb (bank-in-tile varies
+	// fastest, then tile, then group — see arch/addrmap.go), and the
+	// access level falls out of comparing that bank against the core's
+	// own tile [tLo, tHi) and group [gLo, gHi) bank ranges.
+	nb              int
+	nbMask          int // nb-1 when nb is a power of two, else 0
+	tLo, tHi        int
+	gLo, gHi        int
+	latReq, latResp [3]int64
+}
+
+// bankOf returns the global bank of a word address: addr % nb, as a
+// mask when the bank count is a power of two (both reference clusters).
+func (p *Proc) bankOf(addr arch.Addr) int {
+	if p.nbMask != 0 {
+		return int(addr) & p.nbMask
+	}
+	return int(addr) % p.nb
 }
 
 // tax accrues the L0 fetch-miss cost of n issued instructions.
@@ -119,21 +140,34 @@ func (p *Proc) lsuPush(completion int64) {
 			p.st.LsuStalls += oldest - p.now
 			p.now = oldest
 		}
-		p.lsuHead = (p.lsuHead + 1) % len(p.lsu)
+		p.lsuHead++
+		if p.lsuHead == len(p.lsu) {
+			p.lsuHead = 0
+		}
 		p.lsuLen--
 	}
-	p.lsu[(p.lsuHead+p.lsuLen)%len(p.lsu)] = completion
+	i := p.lsuHead + p.lsuLen
+	if i >= len(p.lsu) {
+		i -= len(p.lsu)
+	}
+	p.lsu[i] = completion
 	p.lsuLen++
 }
 
 // access books the bank slot for an address issued now and returns the
-// cycle at which the response arrives back at the core.
+// cycle at which the response arrives back at the core, using the
+// flattened map constants (same arithmetic as Config.BankOf/LevelFor,
+// without the per-field divisions).
 func (p *Proc) access(addr arch.Addr, issueAt int64) int64 {
-	cfg := p.m.Cfg
-	level := cfg.LevelFor(p.Core, addr)
-	bank := cfg.BankOf(addr)
-	slot := p.m.Mem.Res.Acquire(bank, issueAt+cfg.Lat.Req[level])
-	return slot + 1 + cfg.Lat.Resp[level]
+	bank := p.bankOf(addr)
+	lvl := arch.LevelRemote
+	if bank >= p.tLo && bank < p.tHi {
+		lvl = arch.LevelLocal
+	} else if bank >= p.gLo && bank < p.gHi {
+		lvl = arch.LevelGroup
+	}
+	slot := p.m.Mem.Res.Acquire(bank, issueAt+p.latReq[lvl])
+	return slot + 1 + p.latResp[lvl]
 }
 
 // Load issues a load from addr. The returned value is usable (without a
@@ -434,7 +468,10 @@ func (p *Proc) Drain() {
 			p.st.LsuStalls += done - p.now
 			p.now = done
 		}
-		p.lsuHead = (p.lsuHead + 1) % len(p.lsu)
+		p.lsuHead++
+		if p.lsuHead == len(p.lsu) {
+			p.lsuHead = 0
+		}
 		p.lsuLen--
 	}
 }

@@ -260,3 +260,34 @@ func TestUntracedRunAllocsNothing(t *testing.T) {
 		t.Fatalf("untraced Run allocates %.1f objects/op, want 0", avg)
 	}
 }
+
+// TestResetAndTrimAllocsNothing extends the zero-alloc contract to the
+// machine-reuse path: once warmed, a full Run -> TrimReservations ->
+// Reset cycle — including memory-touching work, barrier retirement and
+// the epoch-based reservation/icache reset — performs no allocation, so
+// campaign loops can reuse one Machine indefinitely.
+func TestResetAndTrimAllocsNothing(t *testing.T) {
+	m := NewMachine(arch.MemPool())
+	cores := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	work := func(p *Proc) {
+		base := arch.Addr(p.Lane * 64)
+		var buf [16]W
+		p.LoadSpan(base, buf[:])
+		p.Tick(9000) // push clocks past the retire window so Trim fires
+		p.StoreVec(base, 2, buf[:8])
+	}
+	job := Job{Name: "j", Cores: cores, Phases: []Phase{
+		{Name: "p", Kernel: "t/k", Work: work},
+	}}
+	cycle := func() {
+		if err := m.Run(job); err != nil {
+			t.Fatal(err)
+		}
+		m.TrimReservations()
+		m.Reset()
+	}
+	cycle() // warm scratch buffers, icache sets and reservation rings
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Fatalf("Run+Trim+Reset allocates %.1f objects/op, want 0", avg)
+	}
+}

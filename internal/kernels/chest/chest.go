@@ -169,9 +169,16 @@ func (pl *Plan) JobsList() []engine.Job {
 		lo, hi := pl.laneRange(p.Lane, lanes)
 		var acc engine.A
 		for sc := lo; sc < hi; sc++ {
-			pilot := p.Load(pl.pilotBase + arch.Addr(sc))
+			// The pilot load and the first beam's load are the only
+			// back-to-back pair of the loop (every later beam load is
+			// separated by the divide/store train), so only that pair
+			// batches into one issue burst.
+			pilot, y0 := p.Load2(pl.pilotBase+arch.Addr(sc), pl.yBase+arch.Addr(sc*pl.NB))
 			for b := 0; b < pl.NB; b++ {
-				y := p.Load(pl.yBase + arch.Addr(sc*pl.NB+b))
+				y := y0
+				if b > 0 {
+					y = p.Load(pl.yBase + arch.Addr(sc*pl.NB+b))
+				}
 				h := p.CDiv(y, pilot)
 				p.Store(pl.hBase+arch.Addr(sc*pl.NB+b), h)
 				// Residual r = y - h*pilot feeds the NE autocorrelation.

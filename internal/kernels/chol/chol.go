@@ -158,8 +158,7 @@ func (pl *PairPlan) subDiag(p *engine.Proc, pair, q, i, j int, den engine.W) {
 		if k >= j {
 			k -= j
 		}
-		li := p.Load(pl.lAddr(pair, q, i, k))
-		lj := p.Load(pl.lAddr(pair, q, j, k))
+		li, lj := p.Load2(pl.lAddr(pair, q, i, k), pl.lAddr(pair, q, j, k))
 		sum = p.MacConj(sum, li, lj)
 		p.Tick(2) // loop control + staggered index step
 	}

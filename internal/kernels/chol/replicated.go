@@ -129,8 +129,7 @@ func Decompose(p *engine.Proc, n int, gAddr, lAddr func(i, c int) arch.Addr) {
 			var acc engine.A
 			p.Tick(6) // row prologue: both rows' bank addresses
 			for k := 0; k < j; k++ {
-				li := p.Load(lAddr(i, k))
-				lj := p.Load(lAddr(j, k))
+				li, lj := p.Load2(lAddr(i, k), lAddr(j, k))
 				acc = p.MacConj(acc, li, lj)
 				p.Tick(2)
 			}
@@ -312,8 +311,7 @@ func DecomposePipelined2(p *engine.Proc, n int, gA, lA, gB, lB func(i, c int) ar
 			p.Tick(6)
 			var accA engine.A
 			for k := 0; k < j; k++ {
-				liA := p.Load(lA(i, k))
-				ljA := p.Load(lA(j, k))
+				liA, ljA := p.Load2(lA(i, k), lA(j, k))
 				accA = p.MacConj(accA, liA, ljA)
 				p.Tick(2)
 			}
@@ -322,8 +320,7 @@ func DecomposePipelined2(p *engine.Proc, n int, gA, lA, gB, lB func(i, c int) ar
 			p.Tick(6)
 			var accB engine.A
 			for k := 0; k < j; k++ {
-				liB := p.Load(lB(i, k))
-				ljB := p.Load(lB(j, k))
+				liB, ljB := p.Load2(lB(i, k), lB(j, k))
 				accB = p.MacConj(accB, liB, ljB)
 				p.Tick(2)
 			}

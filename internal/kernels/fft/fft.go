@@ -341,32 +341,36 @@ func (pl *Plan) stageWork(job, s int) func(p *engine.Proc) {
 				// (tile, bank, row), costing real integer arithmetic per
 				// element (the paper's kernels do the same in C).
 				p.Tick(18)
-				// Element loads: tile-local in the folded layout.
-				var wa, wb, wc, we engine.W
+				// Element loads: tile-local in the folded layout. The four
+				// legs of one butterfly land on the four consecutive banks
+				// of the lane's core (foldedAddr keeps lane and slot fixed
+				// while leg selects the bank), so the folded case is a
+				// unit-stride span; the interleaved case strides by d.
+				var el [4]engine.W
 				if pl.Lay == Folded {
-					wa = p.Load(pl.foldedAddr(job, b, s, i0))
-					wb = p.Load(pl.foldedAddr(job, b, s, i1))
-					wc = p.Load(pl.foldedAddr(job, b, s, i2))
-					we = p.Load(pl.foldedAddr(job, b, s, i3))
+					p.LoadSpan(pl.foldedAddr(job, b, s, i0), el[:])
 				} else {
 					buf := pl.seqBufs[pl.instance(job, b)][s&1]
-					wa = p.Load(buf + arch.Addr(i0))
-					wb = p.Load(buf + arch.Addr(i1))
-					wc = p.Load(buf + arch.Addr(i2))
-					we = p.Load(buf + arch.Addr(i3))
+					p.LoadVec(buf+arch.Addr(i0), d, el[:])
 				}
-				// Twiddle loads.
-				var w1, w2, w3 engine.W
+				wa, wb, wc, we := el[0], el[1], el[2], el[3]
+				// Twiddle loads: the folded replicas wrap across bank rows
+				// (gather); the interleaved exponents x1, 2*x1, 3*x1 form a
+				// stride-x1 vector (degenerating to a same-bank triple when
+				// the butterfly needs only W^0).
+				var tw [3]engine.W
 				if pl.Lay == Folded {
-					w1 = p.Load(pl.laneTwAddr(job, p.Lane, s, k, 0))
-					w2 = p.Load(pl.laneTwAddr(job, p.Lane, s, k, 1))
-					w3 = p.Load(pl.laneTwAddr(job, p.Lane, s, k, 2))
+					twa := [3]arch.Addr{
+						pl.laneTwAddr(job, p.Lane, s, k, 0),
+						pl.laneTwAddr(job, p.Lane, s, k, 1),
+						pl.laneTwAddr(job, p.Lane, s, k, 2),
+					}
+					p.LoadGather(twa[:], tw[:])
 				} else {
-					x1, x2, x3 := twiddleIndexes(j, d, pl.N)
-					w1 = p.Load(pl.twSeq + arch.Addr(x1))
-					w2 = p.Load(pl.twSeq + arch.Addr(x2))
-					w3 = p.Load(pl.twSeq + arch.Addr(x3))
+					x1, _, _ := twiddleIndexes(j, d, pl.N)
+					p.LoadVec(pl.twSeq+arch.Addr(x1), x1, tw[:])
 				}
+				w1, w2, w3 := tw[0], tw[1], tw[2]
 				y0, y1, y2, y3 := butterfly(p, wa, wb, wc, we, w1, w2, w3)
 				// Store-address generation: the redistribution targets
 				// (next stage's folded placement, or the digit-reversed
@@ -375,23 +379,26 @@ func (pl *Plan) stageWork(job, s int) func(p *engine.Proc) {
 				// Redistribution stores: into the next stage's folded
 				// layout, or digit-reversed into the output on the last
 				// stage.
+				ys := [4]engine.W{y0, y1, y2, y3}
 				if last {
+					// Last stage: d == 1, so the legs are the four base-4
+					// digits' worth apart after reversal — a stride-N/4
+					// vector from the reversed position of i0.
 					out := pl.outBase[pl.instance(job, b)]
-					p.Store(out+arch.Addr(phy.DigitReverse4(i0, pl.N)), y0)
-					p.Store(out+arch.Addr(phy.DigitReverse4(i1, pl.N)), y1)
-					p.Store(out+arch.Addr(phy.DigitReverse4(i2, pl.N)), y2)
-					p.Store(out+arch.Addr(phy.DigitReverse4(i3, pl.N)), y3)
+					p.StoreVec(out+arch.Addr(phy.DigitReverse4(i0, pl.N)), pl.N/4, ys[:])
 				} else if pl.Lay == Folded {
-					p.Store(pl.foldedAddr(job, b, s+1, i0), y0)
-					p.Store(pl.foldedAddr(job, b, s+1, i1), y1)
-					p.Store(pl.foldedAddr(job, b, s+1, i2), y2)
-					p.Store(pl.foldedAddr(job, b, s+1, i3), y3)
+					// The next stage's folded placement redistributes the
+					// legs irregularly across tiles: a scatter.
+					sa := [4]arch.Addr{
+						pl.foldedAddr(job, b, s+1, i0),
+						pl.foldedAddr(job, b, s+1, i1),
+						pl.foldedAddr(job, b, s+1, i2),
+						pl.foldedAddr(job, b, s+1, i3),
+					}
+					p.StoreScatter(sa[:], ys[:])
 				} else {
 					buf := pl.seqBufs[pl.instance(job, b)][(s+1)&1]
-					p.Store(buf+arch.Addr(i0), y0)
-					p.Store(buf+arch.Addr(i1), y1)
-					p.Store(buf+arch.Addr(i2), y2)
-					p.Store(buf+arch.Addr(i3), y3)
+					p.StoreVec(buf+arch.Addr(i0), d, ys[:])
 				}
 				p.Tick(2) // loop control and address increments
 			}

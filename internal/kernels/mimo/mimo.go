@@ -43,6 +43,12 @@ type Plan struct {
 	hAddr     func(sc, b int) arch.Addr
 	sigmaAddr arch.Addr
 	scratch   []tcdm.TileBlock // per tile: G, L, z, y/x vectors per core
+	// scratchTab caches each plan core's scratch word addresses
+	// (row-major over the core's banks): the per-subcarrier solver walks
+	// its scratch matrices thousands of times per slot, and the addresses
+	// are fixed at plan build, so composing them once removes all host
+	// address arithmetic from the inner loops.
+	scratchTab [][]arch.Addr
 }
 
 // scratch rows per core (on its 4 banks): G (NL rows), L (NL rows),
@@ -109,6 +115,19 @@ func NewPlanOn(m *engine.Machine, cores []int, nsc, nb, nl int, hAddr func(sc, b
 		}
 		pl.scratch[tile] = blk
 	}
+	cfg := m.Cfg
+	pl.scratchTab = make([][]arch.Addr, cfg.NumCores())
+	for _, core := range pl.Cores {
+		tile := cfg.TileOfCore(core)
+		tab := make([]arch.Addr, scratchRows(nl)*cfg.BanksPerCore)
+		for row := 0; row < scratchRows(nl); row++ {
+			for col := 0; col < cfg.BanksPerCore; col++ {
+				bank := (core%cfg.CoresPerTile)*cfg.BanksPerCore + col
+				tab[row*cfg.BanksPerCore+col] = pl.scratch[tile].Addr(bank, row)
+			}
+		}
+		pl.scratchTab[core] = tab
+	}
 	return pl, nil
 }
 
@@ -126,12 +145,9 @@ func tilesOf(cfg *arch.Config, cores []int) []int {
 }
 
 // scratchAddr returns the address of scratch word (row, col) of a core,
-// where col indexes the core's 4 banks.
+// where col indexes the core's 4 banks (a precomposed table lookup).
 func (pl *Plan) scratchAddr(core, row, col int) arch.Addr {
-	cfg := pl.m.Cfg
-	tile := cfg.TileOfCore(core)
-	bank := (core%cfg.CoresPerTile)*cfg.BanksPerCore + col
-	return pl.scratch[tile].Addr(bank, row)
+	return pl.scratchTab[core][row*pl.m.Cfg.BanksPerCore+col]
 }
 
 // Scratch map: rows [0,NL) = G, rows [NL,2NL) = L, row 2NL = z,
@@ -201,16 +217,34 @@ func (pl *Plan) gatherH(p *engine.Proc, sc, l, b int) engine.W {
 	if k == 0 {
 		return p.Load(pl.hAddr(p0, b))
 	}
-	h0 := p.Load(pl.hAddr(p0, b))
-	h1 := p.Load(pl.hAddr(p1, b))
-	w0 := p.Load(pl.wBase + arch.Addr(pl.NL-k))
-	w1 := p.Load(pl.wBase + arch.Addr(k))
+	// The two bracketing estimates and the two interpolation weights
+	// issue back to back: one gather burst.
+	ga := [4]arch.Addr{
+		pl.hAddr(p0, b), pl.hAddr(p1, b),
+		pl.wBase + arch.Addr(pl.NL-k), pl.wBase + arch.Addr(k),
+	}
+	var gv [4]engine.W
+	p.LoadGather(ga[:], gv[:])
+	h0, h1, w0, w1 := gv[0], gv[1], gv[2], gv[3]
 	return p.CAdd(p.MulTw(p.Widen(h0), w0, 0), p.MulTw(p.Widen(h1), w1, 0))
+}
+
+// gatherH2 loads the channel estimates of two UE columns for one beam.
+// Without interpolation the two loads issue back to back (one burst);
+// with interpolation each column runs its own gatherH arithmetic.
+func (pl *Plan) gatherH2(p *engine.Proc, sc, l0, l1, b int) (engine.W, engine.W) {
+	if !pl.Interp {
+		return p.Load2(pl.hAddr(pl.combSC(sc, l0), b), pl.hAddr(pl.combSC(sc, l1), b))
+	}
+	h0 := pl.gatherH(p, sc, l0, b)
+	h1 := pl.gatherH(p, sc, l1, b)
+	return h0, h1
 }
 
 // detect processes one subcarrier on one core.
 func (pl *Plan) detect(p *engine.Proc, core, sc int) {
 	nl, nb := pl.NL, pl.NB
+	gA := pl.gAddr(core)
 	sigma := p.Load(pl.sigmaAddr)
 	// Gramian G = H^H H * 2^-shift + sigma^2... the noise term is kept in
 	// Q1.15 (sigma is already a variance), matching phy.Gramian.
@@ -218,8 +252,7 @@ func (pl *Plan) detect(p *engine.Proc, core, sc int) {
 		for j := 0; j < nl; j++ {
 			var acc engine.A
 			for b := 0; b < nb; b++ {
-				hj := pl.gatherH(p, sc, j, b)
-				hi := pl.gatherH(p, sc, i, b)
+				hj, hi := pl.gatherH2(p, sc, j, i, b)
 				acc = p.MacConj(acc, hj, hi)
 				p.Tick(1)
 			}
@@ -227,7 +260,7 @@ func (pl *Plan) detect(p *engine.Proc, core, sc int) {
 			if i == j {
 				v = p.CAdd(v, sigma)
 			}
-			p.Store(pl.gAddr(core)(i, j), v)
+			p.Store(gA(i, j), v)
 			p.Tick(1)
 		}
 	}
@@ -235,8 +268,14 @@ func (pl *Plan) detect(p *engine.Proc, core, sc int) {
 	for l := 0; l < nl; l++ {
 		var acc engine.A
 		for b := 0; b < nb; b++ {
-			y := p.Load(pl.yBase + arch.Addr(sc*nb+b))
-			h := pl.gatherH(p, sc, l, b)
+			var y, h engine.W
+			if !pl.Interp {
+				// Beam sample and nearest-hold estimate: one issue burst.
+				y, h = p.Load2(pl.yBase+arch.Addr(sc*nb+b), pl.hAddr(pl.combSC(sc, l), b))
+			} else {
+				y = p.Load(pl.yBase + arch.Addr(sc*nb+b))
+				h = pl.gatherH(p, sc, l, b)
+			}
 			acc = p.MacConj(acc, y, h)
 			p.Tick(1)
 		}
@@ -250,8 +289,7 @@ func (pl *Plan) detect(p *engine.Proc, core, sc int) {
 	for i := 0; i < nl; i++ {
 		var acc engine.A
 		for k := 0; k < i; k++ {
-			lv := p.Load(lA(i, k))
-			yv := p.Load(pl.zAddr(core, k))
+			lv, yv := p.Load2(lA(i, k), pl.zAddr(core, k))
 			acc = p.Mac(acc, lv, yv)
 			p.Tick(1)
 		}
@@ -265,8 +303,7 @@ func (pl *Plan) detect(p *engine.Proc, core, sc int) {
 	for i := nl - 1; i >= 0; i-- {
 		var acc engine.A
 		for k := i + 1; k < nl; k++ {
-			xv := p.Load(pl.xTmp(core, k))
-			lv := p.Load(lA(k, i))
+			xv, lv := p.Load2(pl.xTmp(core, k), lA(k, i))
 			acc = p.MacConj(acc, xv, lv)
 			p.Tick(1)
 		}

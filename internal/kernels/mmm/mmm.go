@@ -222,9 +222,20 @@ func (pl *Plan) colBlocks(lane, lanes int) []int {
 func (pl *Plan) work(p *engine.Proc) {
 	w := pl.Opt.Window
 	lanes := p.Lanes
-	acc := make([]engine.A, w.Rows*w.Cols)
-	av := make([]engine.W, w.Rows)
-	bv := make([]engine.W, w.Cols)
+	// Fixed-capacity window scratch (the largest window is 4x4) so the
+	// per-core body allocates nothing on the host.
+	var accBuf [16]engine.A
+	var avBuf, bvBuf [4]engine.W
+	acc := accBuf[:w.Rows*w.Cols]
+	av := avBuf[:w.Rows]
+	bv := bvBuf[:w.Cols]
+	// A's window column is a stride-N vector row-major (consecutive rows
+	// of one column) and unit-stride when A is stored transposed; B's
+	// window row is always a unit-stride span of row k.
+	strideA := pl.N
+	if pl.Opt.ATransposed {
+		strideA = 1
+	}
 	for _, rb := range pl.rowBlocks(p.Lane, lanes) {
 		for _, cb := range pl.colBlocks(p.Lane, lanes) {
 			for i := range acc {
@@ -232,12 +243,8 @@ func (pl *Plan) work(p *engine.Proc) {
 			}
 			p.Tick(2) // window prologue: base address setup
 			for k := 0; k < pl.N; k++ {
-				for r := 0; r < w.Rows; r++ {
-					av[r] = p.Load(pl.aAddr(rb*w.Rows+r, k))
-				}
-				for c := 0; c < w.Cols; c++ {
-					bv[c] = p.Load(pl.bBase + arch.Addr(k*pl.P+cb*w.Cols+c))
-				}
+				p.LoadVec(pl.aAddr(rb*w.Rows, k), strideA, av)
+				p.LoadSpan(pl.bBase+arch.Addr(k*pl.P+cb*w.Cols), bv)
 				for r := 0; r < w.Rows; r++ {
 					for c := 0; c < w.Cols; c++ {
 						acc[r*w.Cols+c] = p.Mac(acc[r*w.Cols+c], av[r], bv[c])

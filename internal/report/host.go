@@ -1,0 +1,47 @@
+package report
+
+// HostSection records the host machine's throughput on the cycle-
+// accurate reference slots: how many simulated slots per wall-clock
+// second this tree sustains on the benchgate gate slot and the
+// full-scale TeraPool slot. Like Service it is informational — the
+// numbers vary host to host and run to run, so Diff never walks them —
+// but committing them per BENCH artifact gives the engine hot-path
+// optimizations a recorded trajectory, and the CI host-throughput
+// smoke step gates new trees against the committed numbers (see
+// cmd/benchgate -host-smoke).
+type HostSection struct {
+	Slots []HostSlotRecord `json:"slots"`
+}
+
+// HostSlotRecord is the host cost of one reference slot configuration.
+type HostSlotRecord struct {
+	// Name identifies the configuration ("mempool-64sc",
+	// "terapool-256sc").
+	Name    string `json:"name"`
+	Cluster string `json:"cluster"`
+	NSC     int    `json:"nsc"`
+	// Runs is the number of timed cycle-accurate slot executions
+	// (after one untimed warm-up on a reused machine).
+	Runs int `json:"runs"`
+	// WallSeconds is the total wall time of the timed runs;
+	// SlotsPerSec = Runs / WallSeconds.
+	WallSeconds float64 `json:"wall_seconds"`
+	SlotsPerSec float64 `json:"slots_per_sec"`
+	// BestRunSeconds is the fastest single run — the number the smoke
+	// gate compares, since a minimum is far more stable than a mean on
+	// a noisy shared runner.
+	BestRunSeconds float64 `json:"best_run_seconds"`
+}
+
+// Find returns the named record, or nil.
+func (h *HostSection) Find(name string) *HostSlotRecord {
+	if h == nil {
+		return nil
+	}
+	for i := range h.Slots {
+		if h.Slots[i].Name == name {
+			return &h.Slots[i]
+		}
+	}
+	return nil
+}

@@ -130,7 +130,7 @@ func (m *Mem) Reset() {
 	for i := range m.localFloor {
 		m.localFloor[i] = m.Cfg.BankWords
 	}
-	m.Res = NewReservation(m.Cfg.NumBanks())
+	m.Res.Reset()
 	clear(m.data)
 }
 

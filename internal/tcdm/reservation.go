@@ -19,45 +19,169 @@ const pageWords = 1 << (pageBits - 6) // uint64 words per page
 
 type page [pageWords]uint64
 
-// bankRes tracks the busy cycles of one bank as a paged bitmap.
+// pageSlot is one entry of a bank's open-addressed page ring: the page
+// index it currently holds plus the epoch labels deciding whether that
+// content is still meaningful. A slot whose labels are stale is storage
+// waiting to be recycled, not state — Reset and Retire never touch it.
+type pageSlot struct {
+	idx int64 // page index (cycle >> pageBits) the slot holds
+	gen uint32
+	seq uint32
+	p   *page
+}
+
+// bankRes tracks the busy cycles of one bank as pages hung off a small
+// power-of-two ring indexed by page index. Pages of one bank cluster
+// tightly in time (the engine retires everything behind the slowest
+// core at each barrier), so the ring stays tiny; it doubles on the rare
+// collision between two live pages. The first ringSlots entries live
+// inline in the struct — the hot lookup computes the slot address from
+// the bank index alone, with no pointer chase — and only a grown ring
+// spills to the ext slice.
 type bankRes struct {
-	pages map[int64]*page
-	// Single-entry cache of the most recently touched page: accesses to
-	// a bank cluster in time, so this hits nearly always.
-	lastIdx  int64
-	lastPage *page
+	mask int64
+	ext  []pageSlot // nil while the inline ring suffices
+	ring [ringSlots]pageSlot
+}
+
+// slot returns the ring slot for page idx.
+func (b *bankRes) slot(idx int64) *pageSlot {
+	if b.ext == nil {
+		return &b.ring[idx&(ringSlots-1)]
+	}
+	return &b.ext[idx&b.mask]
+}
+
+// all returns the current ring storage (for growth scans).
+func (b *bankRes) all() []pageSlot {
+	if b.ext == nil {
+		return b.ring[:]
+	}
+	return b.ext
 }
 
 // Reservation resolves bank contention for a whole cluster.
+//
+// Instead of allocating and freeing page maps, the table is epoch-based:
+// Reset bumps a generation counter (gen) that invalidates every page in
+// O(1), and Retire bumps a retire sequence (seq) plus a page-index
+// cutoff that invalidates old pages in O(1). Page storage is recycled
+// in place the next time its ring slot is claimed, so steady-state
+// operation — including Machine.Reset between runs and barrier
+// retirement inside runs — performs no allocation at all.
 type Reservation struct {
-	banks     []bankRes
+	banks []bankRes
+
+	// gen labels the current Reset epoch: pages claimed under an older
+	// gen read as empty.
+	gen uint32
+	// seq labels the current Retire window and cutoff is the first live
+	// page index: a page below the cutoff claimed under an older seq
+	// reads as empty (exactly the pages the map-based table deleted).
+	// Retire cutoffs must be non-decreasing within one epoch, which the
+	// engine guarantees (per-core clocks only move forward).
+	seq    uint32
+	cutoff int64
+
+	// free recycles page arrays displaced by ring growth.
+	free []*page
+
 	conflicts int64 // total cycles of delay handed out
 	accesses  int64
 }
+
+// ringSlots is the initial per-bank ring size; it covers a span of
+// ringSlots<<pageBits unretired cycles before the first growth.
+const ringSlots = 4
 
 // NewReservation creates tables for nBanks banks.
 func NewReservation(nBanks int) *Reservation {
 	r := &Reservation{banks: make([]bankRes, nBanks)}
 	for i := range r.banks {
-		r.banks[i].pages = make(map[int64]*page)
-		r.banks[i].lastIdx = -1
+		r.banks[i].mask = ringSlots - 1
 	}
 	return r
 }
 
-func (b *bankRes) pageFor(idx int64, alloc bool) *page {
-	if b.lastIdx == idx {
-		return b.lastPage
+// Reset invalidates every reservation and zeroes the contention
+// counters in O(1), returning the table to its just-constructed state
+// without touching any page. Machine reuse depends on this being cheap:
+// the arena alone is multi-MiB, and page content is lazily cleared only
+// when its slot is claimed again.
+func (r *Reservation) Reset() {
+	r.gen++
+	r.seq = 0
+	r.cutoff = 0
+	r.conflicts = 0
+	r.accesses = 0
+}
+
+// live reports whether a slot's content is meaningful under the current
+// epoch labels.
+func (r *Reservation) live(s *pageSlot) bool {
+	return s.p != nil && s.gen == r.gen && (s.idx >= r.cutoff || s.seq == r.seq)
+}
+
+// claimPage returns cleared page storage for page idx of bank b,
+// recycling the ring slot in place (growing the ring only when the slot
+// holds a different page that is still live).
+func (r *Reservation) claimPage(b *bankRes, idx int64) *page {
+	s := b.slot(idx)
+	if r.live(s) && s.idx != idx {
+		b.grow(r, idx)
+		s = b.slot(idx)
 	}
-	p := b.pages[idx]
-	if p == nil && alloc {
-		p = new(page)
-		b.pages[idx] = p
+	if s.p == nil {
+		if n := len(r.free); n > 0 {
+			s.p = r.free[n-1]
+			r.free = r.free[:n-1]
+			*s.p = page{}
+		} else {
+			s.p = new(page)
+		}
+	} else {
+		*s.p = page{}
 	}
-	if p != nil {
-		b.lastIdx, b.lastPage = idx, p
+	s.idx, s.gen, s.seq = idx, r.gen, r.seq
+	return s.p
+}
+
+// grow doubles the ring until every live page plus the incoming index
+// lands in a distinct slot, recycling the storage of stale pages.
+func (b *bankRes) grow(r *Reservation, newIdx int64) {
+	var keep []pageSlot
+	cur := b.all()
+	for i := range cur {
+		s := &cur[i]
+		if s.p == nil {
+			continue
+		}
+		if r.live(s) {
+			keep = append(keep, *s)
+		} else {
+			r.free = append(r.free, s.p)
+		}
+		*s = pageSlot{}
 	}
-	return p
+	size := 2 * len(cur)
+	for {
+		mask := int64(size - 1)
+		slots := make([]pageSlot, size)
+		ok := true
+		for _, s := range keep {
+			j := s.idx & mask
+			if slots[j].p != nil {
+				ok = false
+				break
+			}
+			slots[j] = s
+		}
+		if ok && slots[newIdx&mask].p == nil {
+			b.ext, b.mask = slots, mask
+			return
+		}
+		size *= 2
+	}
 }
 
 // Acquire books the first free service cycle >= t on the given bank and
@@ -71,10 +195,21 @@ func (r *Reservation) Acquire(bank int, t int64) int64 {
 	r.accesses++
 	for {
 		idx := t >> pageBits
-		p := b.pageFor(idx, true)
+		s := b.slot(idx)
+		var p *page
+		if s.idx == idx && s.p != nil && s.gen == r.gen && (idx >= r.cutoff || s.seq == r.seq) {
+			p = s.p
+		} else {
+			p = r.claimPage(b, idx)
+		}
 		off := t & (1<<pageBits - 1)
 		w := off >> 6
 		bit := uint(off & 63)
+		// Uncontended fast path: the requested cycle itself is free.
+		if p[w]&(1<<bit) == 0 {
+			p[w] |= 1 << bit
+			return t
+		}
 		// Scan the current page word by word for a free bit.
 		for w < pageWords {
 			free := ^p[w] >> bit << bit // mask off bits below the start position
@@ -96,28 +231,24 @@ func (r *Reservation) Acquire(bank int, t int64) int64 {
 // Busy reports whether cycle t is already booked on bank (test helper).
 func (r *Reservation) Busy(bank int, t int64) bool {
 	b := &r.banks[bank]
-	p := b.pageFor(t>>pageBits, false)
-	if p == nil {
+	idx := t >> pageBits
+	s := b.slot(idx)
+	if s.idx != idx || !r.live(s) {
 		return false
 	}
 	off := t & (1<<pageBits - 1)
-	return p[off>>6]&(1<<uint(off&63)) != 0
+	return s.p[off>>6]&(1<<uint(off&63)) != 0
 }
 
 // Retire drops all reservation pages that end strictly before cycle t.
 // The engine calls it at cluster-wide barriers to bound memory use.
+// Within one epoch its cutoffs must be non-decreasing; the engine
+// derives them from the slowest core's clock, which only moves forward.
 func (r *Reservation) Retire(t int64) {
 	cutoff := t >> pageBits // pages with idx < cutoff end before t
-	for i := range r.banks {
-		b := &r.banks[i]
-		for idx := range b.pages {
-			if idx < cutoff {
-				delete(b.pages, idx)
-				if b.lastIdx == idx {
-					b.lastIdx, b.lastPage = -1, nil
-				}
-			}
-		}
+	r.seq++
+	if cutoff > r.cutoff {
+		r.cutoff = cutoff
 	}
 }
 

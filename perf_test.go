@@ -67,6 +67,31 @@ func BenchmarkSchedulerTraceWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineRun measures the host cost of one cycle-accurate
+// 64-SC MemPool slot — benchgate's layout-gate configuration — on a
+// reused machine: the number this PR-series' engine optimizations are
+// graded on (benchgate's host section records the same quantity as
+// slots/s).
+func BenchmarkMachineRun(b *testing.B) {
+	cfg := ipusch.ChainConfig{
+		Cluster: arch.MemPool(),
+		NSC:     64, NR: 16, NB: 8, NL: 4,
+		NSymb: 14, NPilot: 2,
+		Scheme: waveform.QPSK,
+		SNRdB:  20,
+		Seed:   1,
+	}
+	m := engine.NewMachine(cfg.Cluster)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if _, err := ipusch.RunChainRecordOn(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMachineRunAllocs pins the per-job allocation footprint of
 // the engine hot path: Machine.Run on a multi-phase fork-join job,
 // with the cluster barrier retiring reservations between iterations.
